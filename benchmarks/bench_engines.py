@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the core computational engines.
+
+Not tied to a paper table — these track the throughput of the vectorized
+load analyses, the bisection constructions, and the packet simulator, so
+performance regressions in the machinery behind the experiments are
+visible.
+"""
+
+import pytest
+
+from repro.bisection.dimension_cut import best_dimension_cut
+from repro.bisection.hyperplane import hyperplane_bisection
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.sim.engine import CycleEngine
+from repro.sim.network import SimNetwork
+from repro.sim.workloads import complete_exchange_packets
+from repro.torus.topology import Torus
+
+
+@pytest.mark.benchmark(group="engine-odr")
+@pytest.mark.parametrize("k,d", [(16, 2), (12, 3), (6, 4)])
+def test_odr_loads(benchmark, k, d):
+    placement = linear_placement(Torus(k, d))
+    loads = benchmark(odr_edge_loads, placement)
+    assert loads.max() > 0
+
+
+@pytest.mark.benchmark(group="engine-udr")
+@pytest.mark.parametrize("k,d", [(10, 2), (8, 3)])
+def test_udr_loads(benchmark, k, d):
+    placement = linear_placement(Torus(k, d))
+    loads = benchmark(udr_edge_loads, placement)
+    assert loads.max() > 0
+
+
+@pytest.mark.benchmark(group="engine-bisection")
+@pytest.mark.parametrize("k,d", [(16, 2), (8, 3)])
+def test_hyperplane_bisection(benchmark, k, d):
+    placement = linear_placement(Torus(k, d))
+    sweep = benchmark(hyperplane_bisection, placement)
+    assert sweep.is_balanced
+
+
+@pytest.mark.benchmark(group="engine-bisection")
+@pytest.mark.parametrize("k,d", [(16, 2), (8, 3)])
+def test_dimension_cut(benchmark, k, d):
+    placement = linear_placement(Torus(k, d))
+    cut = benchmark(best_dimension_cut, placement)
+    assert cut.cut_size == 4 * k ** (d - 1)
+
+
+@pytest.mark.benchmark(group="engine-simulator")
+def test_simulator_complete_exchange(benchmark):
+    torus = Torus(8, 2)
+    placement = linear_placement(torus)
+    routing = OrderedDimensionalRouting(2)
+
+    def run():
+        packets = complete_exchange_packets(placement, routing, seed=0)
+        return CycleEngine(SimNetwork(torus)).run(packets)
+
+    result = benchmark(run)
+    assert result.delivered == len(placement) * (len(placement) - 1)

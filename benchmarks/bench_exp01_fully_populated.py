@@ -1,0 +1,12 @@
+"""Benchmark EXP-1: Section 1 motivation — superlinear load on fully populated tori.
+
+Regenerates the EXP-1 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-1")
+def test_EXP_1(run_experiment):
+    run_experiment("EXP-1", quick=False, rounds=3)

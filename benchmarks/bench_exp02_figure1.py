@@ -1,0 +1,12 @@
+"""Benchmark EXP-2: Fig. 1 — three processors on T_3^2.
+
+Regenerates the EXP-2 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-2")
+def test_EXP_2(run_experiment):
+    run_experiment("EXP-2", quick=False, rounds=3)

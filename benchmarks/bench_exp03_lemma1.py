@@ -1,0 +1,12 @@
+"""Benchmark EXP-3: Lemma 1 / Eq. 6 separator lower bounds.
+
+Regenerates the EXP-3 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-3")
+def test_EXP_3(run_experiment):
+    run_experiment("EXP-3", quick=False, rounds=2)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-4: Proposition 1 / Corollary 1 / Appendix hyperplane sweep.
+
+Regenerates the EXP-4 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-4")
+def test_EXP_4(run_experiment):
+    run_experiment("EXP-4", quick=False, rounds=2)

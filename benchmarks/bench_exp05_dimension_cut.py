@@ -1,0 +1,12 @@
+"""Benchmark EXP-5: Theorem 1 two-cut bisection.
+
+Regenerates the EXP-5 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-5")
+def test_EXP_5(run_experiment):
+    run_experiment("EXP-5", quick=False, rounds=2)

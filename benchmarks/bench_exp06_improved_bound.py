@@ -1,0 +1,12 @@
+"""Benchmark EXP-6: Section 4 dimension-independent bound and crossover.
+
+Regenerates the EXP-6 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-6")
+def test_EXP_6(run_experiment):
+    run_experiment("EXP-6", quick=False, rounds=3)

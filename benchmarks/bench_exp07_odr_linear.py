@@ -1,0 +1,12 @@
+"""Benchmark EXP-7: Theorem 2 + Section 6.1 ODR closed forms.
+
+Regenerates the EXP-7 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-7")
+def test_EXP_7(run_experiment):
+    run_experiment("EXP-7", quick=False, rounds=2)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-8: Theorem 3 multiple linear placements under ODR.
+
+Regenerates the EXP-8 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-8")
+def test_EXP_8(run_experiment):
+    run_experiment("EXP-8", quick=False, rounds=2)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-9: Theorem 4 UDR loads and path multiplicity.
+
+Regenerates the EXP-9 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-9")
+def test_EXP_9(run_experiment):
+    run_experiment("EXP-9", quick=False, rounds=2)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-10: Theorem 5 multiple linear placements under UDR.
+
+Regenerates the EXP-10 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-10")
+def test_EXP_10(run_experiment):
+    run_experiment("EXP-10", quick=False, rounds=2)

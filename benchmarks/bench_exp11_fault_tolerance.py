@@ -1,0 +1,12 @@
+"""Benchmark EXP-11: Section 7 fault tolerance, ODR vs UDR.
+
+Regenerates the EXP-11 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-11")
+def test_EXP_11(run_experiment):
+    run_experiment("EXP-11", quick=False, rounds=1)

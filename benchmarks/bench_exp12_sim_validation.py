@@ -1,0 +1,12 @@
+"""Benchmark EXP-12: Simulator validation + linear-vs-superlinear headline.
+
+Regenerates the EXP-12 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-12")
+def test_EXP_12(run_experiment):
+    run_experiment("EXP-12", quick=False, rounds=1)

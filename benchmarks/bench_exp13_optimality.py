@@ -1,0 +1,12 @@
+"""Benchmark EXP-13: Optimality of the constructions.
+
+Regenerates the EXP-13 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-13")
+def test_EXP_13(run_experiment):
+    run_experiment("EXP-13", quick=False, rounds=2)

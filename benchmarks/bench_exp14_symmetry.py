@@ -1,0 +1,12 @@
+"""Benchmark EXP-14: Offset and coefficient symmetry of linear placements.
+
+Regenerates the EXP-14 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-14")
+def test_EXP_14(run_experiment):
+    run_experiment("EXP-14", quick=False, rounds=2)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-15: Single-dimension uniformity suffices for Theorem 1.
+
+Regenerates the EXP-15 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-15")
+def test_EXP_15(run_experiment):
+    run_experiment("EXP-15", quick=False, rounds=2)

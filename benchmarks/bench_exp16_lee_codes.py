@@ -1,0 +1,12 @@
+"""Benchmark EXP-16: Perfect Lee-code resource placements vs load-optimal placements.
+
+Regenerates the EXP-16 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-16")
+def test_EXP_16(run_experiment):
+    run_experiment("EXP-16", quick=False, rounds=2)

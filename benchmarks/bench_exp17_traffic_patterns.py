@@ -1,0 +1,12 @@
+"""Benchmark EXP-17: Permutation and hotspot traffic loads.
+
+Regenerates the EXP-17 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-17")
+def test_EXP_17(run_experiment):
+    run_experiment("EXP-17", quick=False, rounds=2)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-18: Wormhole flow control vs static loads.
+
+Regenerates the EXP-18 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-18")
+def test_EXP_18(run_experiment):
+    run_experiment("EXP-18", quick=False, rounds=1)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-19: Local placement search never beats the linear placement.
+
+Regenerates the EXP-19 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-19")
+def test_EXP_19(run_experiment):
+    run_experiment("EXP-19", quick=False, rounds=1)

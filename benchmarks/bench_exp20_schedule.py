@@ -1,0 +1,12 @@
+"""Benchmark EXP-20: Greedy phase schedules vs the bandwidth bound.
+
+Regenerates the EXP-20 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-20")
+def test_EXP_20(run_experiment):
+    run_experiment("EXP-20", quick=False, rounds=1)

@@ -1,0 +1,12 @@
+"""Benchmark EXP-21: Restricted vs unrestricted ODR tie handling.
+
+Regenerates the EXP-21 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-21")
+def test_EXP_21(run_experiment):
+    run_experiment("EXP-21", quick=False, rounds=2)

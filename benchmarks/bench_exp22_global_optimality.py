@@ -1,0 +1,12 @@
+"""Benchmark EXP-22: Exhaustive global-optimality certification.
+
+Regenerates the EXP-22 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-22")
+def test_EXP_22(run_experiment):
+    run_experiment("EXP-22", quick=False, rounds=1)

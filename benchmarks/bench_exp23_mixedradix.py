@@ -1,0 +1,12 @@
+"""Benchmark EXP-23: Mixed-radix tori generalization.
+
+Regenerates the EXP-23 paper-vs-measured table (see EXPERIMENTS.md) and
+times the full reproduction sweep.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="EXP-23")
+def test_EXP_23(run_experiment):
+    run_experiment("EXP-23", quick=False, rounds=2)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 1 of the paper: three processors on T_3^2.
+
+Renders the diagonal placement {(0,0), (1,2), (2,1)} — the linear
+placement p1 + p2 ≡ 0 (mod 3) — with every link on a specified shortest
+path highlighted, and lists the routes pair by pair.
+
+Run:  python examples/figure1.py
+"""
+
+from repro.placements.linear import linear_placement
+from repro.routing.minimal import AllMinimalPaths
+from repro.torus.topology import Torus
+from repro.viz.ascii_art import render_figure1
+
+
+def main() -> None:
+    print(render_figure1())
+    print()
+
+    torus = Torus(3, 2)
+    placement = linear_placement(torus)
+    routing = AllMinimalPaths()
+    coords = [tuple(int(x) for x in c) for c in placement.coords()]
+
+    print("specified shortest paths (all minimal paths per ordered pair):")
+    for p in coords:
+        for q in coords:
+            if p == q:
+                continue
+            paths = routing.paths(torus, p, q)
+            for i, path in enumerate(paths):
+                route = " -> ".join(str(torus.coord(n)) for n in path.nodes)
+                print(f"  {p} => {q}  [{i + 1}/{len(paths)}]  {route}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Placing processors in a real-machine-shaped torus (4 x 8 x 16).
+
+Production torus interconnects rarely have equal radii.  This example
+applies the paper's construction — generalized to mixed radii per its
+Section 8 outlook — to a 4x8x16 machine:
+
+* the naive gcd-modulus linear placement over-populates relative to the
+  thinnest bisection and its busiest link saturates;
+* the lcm construction sizes the placement to the thin-cut budget and
+  keeps the busiest link at |P|/2 messages, matching the square-torus
+  story exactly.
+
+Run:  python examples/mixed_radix_machine.py
+"""
+
+import math
+
+from repro.mixedradix import (
+    MixedTorus,
+    lcm_linear_placement,
+    mixed_dimension_cut,
+    mixed_linear_placement,
+    mixed_odr_edge_loads,
+)
+from repro.util.tables import Table
+
+SHAPE = (4, 8, 16)
+
+
+def main() -> None:
+    torus = MixedTorus(SHAPE)
+    print(f"machine: {torus} — {torus.num_nodes} nodes, "
+          f"{torus.num_edges} directed links")
+    kmax = max(SHAPE)
+    thin_cut = 4 * torus.num_nodes // kmax
+    print(f"thinnest two-cut bisection: {thin_cut} directed links "
+          f"(across the radix-{kmax} dimension)")
+    print()
+
+    table = Table(
+        ["placement", "|P|", "E_max", "E_max/|P|", "thin-cut bound on E_max"],
+        title="complete exchange under ODR",
+    )
+    for placement in (
+        mixed_linear_placement(torus),   # modulus gcd = 4
+        lcm_linear_placement(torus),     # modulus lcm = 16
+    ):
+        loads = mixed_odr_edge_loads(placement)
+        emax = float(loads.max())
+        m = len(placement)
+        # Lemma 1 with the thin cut: E_max >= 2 (|P|/2)^2 / thin_cut
+        bound = 2 * (m // 2) * (m - m // 2) / thin_cut
+        table.add_row([placement.name, m, emax, emax / m, bound])
+    print(table.render())
+    print()
+
+    lcm_p = lcm_linear_placement(torus)
+    cut = mixed_dimension_cut(lcm_p)
+    print(f"best two-cut bisection of the lcm placement: dimension {cut.dim} "
+          f"at boundaries {cut.boundaries}, {cut.cut_size} links, "
+          f"split {cut.processors_a}/{cut.processors_b}")
+    print()
+    print("takeaway: in a mixed-radix torus the linear-load placement size "
+          "is governed by the thinnest bisection (Π k_i / k_max), and the "
+          "lcm-modulus linear placement achieves E_max = |P|/2 — the same "
+          "constant the square-torus construction achieves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Empirical optimality: search for a better placement — and fail.
+
+The paper proves linear placements optimal via lower bounds.  This example
+attacks from above: starting from random placements of the same size, a
+steepest-descent search over single-processor relocations minimizes the
+exact ODR E_max.  Every run plateaus at the linear placement's value —
+and the greedy phase scheduler shows that value is operational: the
+complete exchange packs into exactly ceil(E_max) link-disjoint phases.
+
+Run:  python examples/placement_search.py
+"""
+
+from repro.placements.linear import linear_placement
+from repro.placements.random_placement import random_placement
+from repro.placements.search import local_search_placement, placement_objective
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.schedule.greedy import greedy_phase_schedule
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+
+K, D, TRIALS = 6, 2, 4
+
+
+def main() -> None:
+    torus = Torus(K, D)
+    linear = linear_placement(torus)
+    target = placement_objective(linear)
+    print(f"T_{K}^{D}: linear placement of {len(linear)} processors has "
+          f"E_max = {target:g} under ODR")
+    print()
+
+    table = Table(
+        ["trial", "random start", "after search", "accepted moves",
+         "evaluations"],
+        title="steepest-descent search over equal-size placements",
+    )
+    for trial in range(TRIALS):
+        start = random_placement(torus, len(linear), seed=100 + trial)
+        res = local_search_placement(
+            start, max_moves=40, candidates_per_move=16, seed=trial
+        )
+        table.add_row(
+            [trial, res.initial_emax, res.best_emax,
+             len(res.trajectory) - 1, res.evaluations]
+        )
+        assert res.best_emax >= target - 1e-9
+    print(table.render())
+    print()
+    print(f"no run beats the linear placement's E_max = {target:g} — the "
+          "construction sits on the empirical floor.")
+    print()
+
+    sched = greedy_phase_schedule(linear, OrderedDimensionalRouting(D), seed=0)
+    print(f"greedy phase schedule of the complete exchange: "
+          f"{sched.num_phases} phases vs bandwidth bound "
+          f"ceil(E_max) = {sched.lower_bound} "
+          f"(ratio {sched.optimality_ratio:.2f}, valid: {sched.validate()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Drive the packet simulator and validate it against the analysis.
+
+Runs complete exchanges on T_6^2 through the cycle-accurate
+store-and-forward simulator for three configurations — linear + ODR,
+linear + UDR, fully populated + ODR — and compares the simulated per-link
+traffic to the analytic Definition-4 loads.
+
+Run:  python examples/simulator_demo.py
+"""
+
+from repro.core.analysis import compute_loads
+from repro.placements.fully import fully_populated_placement
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.sim.engine import CycleEngine
+from repro.sim.metrics import summarize_link_counts
+from repro.sim.network import SimNetwork
+from repro.sim.validate import compare_sim_to_analytic
+from repro.sim.workloads import complete_exchange_packets
+from repro.util.tables import Table
+
+K = 6
+
+
+def main() -> None:
+    torus_cfg = [
+        ("linear + ODR", linear_placement, lambda d: OrderedDimensionalRouting(d), 1),
+        ("linear + UDR", linear_placement, lambda d: UnorderedDimensionalRouting(), 40),
+        ("full + ODR", fully_populated_placement,
+         lambda d: OrderedDimensionalRouting(d), 1),
+    ]
+    table = Table(
+        ["configuration", "|P|", "packets", "cycles", "mean latency",
+         "busiest link", "analytic E_max", "max |err|"],
+        title=f"simulated complete exchange on T_{K}^2",
+    )
+    for name, make_placement, make_routing, rounds in torus_cfg:
+        from repro.torus.topology import Torus
+
+        torus = Torus(K, 2)
+        placement = make_placement(torus)
+        routing = make_routing(2)
+        packets = complete_exchange_packets(placement, routing, seed=0, rounds=rounds)
+        result = CycleEngine(SimNetwork(torus)).run(packets)
+        summary = summarize_link_counts(result.link_counts).normalized(rounds)
+
+        analytic = compute_loads(placement, routing)
+        rep = compare_sim_to_analytic(placement, routing, analytic,
+                                      rounds=rounds, seed=0)
+        table.add_row([
+            name,
+            len(placement),
+            len(packets),
+            result.cycles,
+            f"{result.mean_latency:.2f}",
+            summary.max_count,
+            f"{analytic.max():.3f}",
+            f"{rep.max_abs_error:.3f}",
+        ])
+    print(table.render())
+    print()
+    print("notes:")
+    print("- ODR is deterministic: simulated counters equal the analytic "
+          "loads exactly (max |err| = 0).")
+    print("- UDR samples one of s! paths per message: counters converge to "
+          "the fractional loads as rounds grow.")
+    print("- the fully populated torus needs far more cycles per exchange — "
+          "the congestion the paper's partial placements eliminate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so the package can be installed in environments whose setuptools/pip
+predate PEP 660 editable wheels (``python setup.py develop`` works without
+the ``wheel`` package and without network access).
+"""
+
+from setuptools import setup
+
+setup()

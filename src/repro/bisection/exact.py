@@ -1,0 +1,76 @@
+"""Exact bisection width with respect to a placement — brute force.
+
+Definition 8 minimizes over *all* partitions of the node set ``V`` into two
+parts each holding half of ``P``'s processors (router nodes may go to
+either side).  Exhaustive enumeration over the :math:`2^{k^d}` subsets is
+only feasible for tiny tori (:math:`k^d \\lesssim 20`); that is exactly what
+the tests need to certify that the constructive bisections
+(:mod:`repro.bisection.dimension_cut`, :mod:`repro.bisection.hyperplane`)
+produce widths that are genuine upper bounds on the true
+:math:`|∂_b P|`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BisectionError
+from repro.placements.base import Placement
+
+__all__ = ["exact_bisection_width", "MAX_EXACT_NODES"]
+
+#: Largest node count the exhaustive search accepts (2^n subsets).
+MAX_EXACT_NODES = 22
+
+
+def exact_bisection_width(placement: Placement) -> int:
+    """The true :math:`|∂_b P|` (directed edges), by exhaustive search.
+
+    Raises
+    ------
+    BisectionError
+        If the torus has more than :data:`MAX_EXACT_NODES` nodes.
+    """
+    torus = placement.torus
+    n = torus.num_nodes
+    if n > MAX_EXACT_NODES:
+        raise BisectionError(
+            f"exact bisection search limited to {MAX_EXACT_NODES} nodes; "
+            f"torus has {n}"
+        )
+    # undirected adjacency as bitmasks; multiplicity for the k=2 double link
+    ei = torus.edges
+    pair_count: dict[tuple[int, int], int] = {}
+    for edge_id in range(torus.num_edges):
+        e = ei.decode(edge_id)
+        key = (min(e.tail, e.head), max(e.tail, e.head))
+        pair_count[key] = pair_count.get(key, 0) + 1  # directed multiplicity
+
+    p_mask_bits = 0
+    for nid in placement.node_ids:
+        p_mask_bits |= 1 << int(nid)
+    m = len(placement)
+    target_lo = m // 2
+    target_hi = m - target_lo  # within one
+
+    full = (1 << n) - 1
+    best = None
+    # enumerate subsets containing node 0 (WLOG, halves the work)
+    for subset in range(0, 1 << (n - 1)):
+        s = (subset << 1) | 1
+        if s == full:
+            continue  # both parts of the split must be non-empty
+        procs_in_s = bin(s & p_mask_bits).count("1")
+        if procs_in_s not in (target_lo, target_hi):
+            continue
+        cut = 0
+        for (u, v), mult in pair_count.items():
+            if ((s >> u) & 1) != ((s >> v) & 1):
+                cut += mult
+                if best is not None and cut >= best:
+                    break
+        if best is None or cut < best:
+            best = cut
+    if best is None:  # pragma: no cover - unreachable for valid placements
+        raise BisectionError("no balanced partition found")
+    return int(best)

@@ -1,0 +1,63 @@
+"""Lower bounds on the bisection width with respect to a placement.
+
+Lemma 1 runs both ways: a small separator forces a large load, so a small
+*measured* load forces a large separator.  Rearranging Eq. (8),
+
+.. math::
+
+    |∂_b P| \\;\\ge\\; \\frac{2\\,\\lfloor |P|/2\\rfloor\\,\\lceil |P|/2\\rceil}
+                           {E_{max}}
+
+for the maximum load of **any** routing algorithm on shortest paths — a
+certificate that a placement cannot be split too cheaply.  Combined with
+the constructive upper bounds (Theorem 1's two cuts, the Appendix sweep)
+this brackets the true bisection width from both sides without exhaustive
+search.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.placements.base import Placement
+
+__all__ = ["bisection_width_lower_bound_from_load", "bisection_width_bracket"]
+
+
+def bisection_width_lower_bound_from_load(placement: Placement, emax: float) -> int:
+    """Eq. (8) inverted: ``|∂_b P| >= 2·⌊|P|/2⌋·⌈|P|/2⌉ / E_max``.
+
+    ``emax`` must be the measured maximum load of *some* shortest-path
+    routing under complete exchange (any one will do — the bound holds for
+    each).
+    """
+    if emax <= 0:
+        raise ValueError(f"E_max must be > 0, got {emax}")
+    m = len(placement)
+    lo, hi = m // 2, m - m // 2
+    return int(math.ceil(2 * lo * hi / emax))
+
+
+def bisection_width_bracket(placement: Placement) -> tuple[int, int]:
+    """Bracket ``|∂_b P|``: (load-based lower bound, best constructive upper).
+
+    Computes exact ODR loads for the lower bound and takes the better of
+    the Theorem 1 two-cut and Appendix hyperplane certificates for the
+    upper (only *balanced* certificates qualify).
+    """
+    from repro.bisection.dimension_cut import best_dimension_cut
+    from repro.bisection.hyperplane import hyperplane_bisection
+    from repro.load.odr_loads import odr_edge_loads
+
+    emax = float(odr_edge_loads(placement).max())
+    lower = bisection_width_lower_bound_from_load(placement, emax)
+
+    uppers = []
+    sweep = hyperplane_bisection(placement)
+    if sweep.is_balanced:
+        uppers.append(sweep.torus_cut_size)
+    cut = best_dimension_cut(placement)
+    if cut.is_balanced:
+        uppers.append(cut.cut_size)
+    upper = min(uppers) if uppers else placement.torus.num_edges
+    return lower, upper

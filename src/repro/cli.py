@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro design    --k 8 --d 3 --t 1 --routing odr
+    python -m repro analyze   --k 8 --d 3 --t 2 --routing udr
+    python -m repro experiments --quick            # run the full suite
+    python -m repro experiments --only EXP-7
+    python -m repro figure1
+    python -m repro simulate  --k 6 --d 2 --routing udr --rounds 10
+    python -m repro sweep     --d 2 --ks 4,6,8,10 --family linear
+
+Every subcommand prints plain text (markdown-compatible tables) to stdout
+and exits non-zero if a reproduction check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Lower Bounds on Communication Loads and "
+            "Optimal Placements in Torus Networks'"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_design = sub.add_parser(
+        "design", help="build an optimal placement and print its figures"
+    )
+    _add_torus_args(p_design)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="measure loads, bounds, and bisections"
+    )
+    _add_torus_args(p_analyze)
+    p_analyze.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a full markdown report instead of the plain summary",
+    )
+
+    p_exp = sub.add_parser("experiments", help="run the reproduction suite")
+    p_exp.add_argument(
+        "--quick", action="store_true", help="use the reduced sweeps"
+    )
+    p_exp.add_argument(
+        "--only", metavar="EXP-N", help="run a single experiment by id"
+    )
+    p_exp.add_argument(
+        "--write",
+        metavar="PATH",
+        help="also write the rendered report to this file",
+    )
+
+    sub.add_parser("figure1", help="render the paper's Fig. 1 in ASCII")
+
+    p_sim = sub.add_parser(
+        "simulate", help="run a complete exchange through the packet simulator"
+    )
+    _add_torus_args(p_sim)
+    p_sim.add_argument(
+        "--rounds", type=int, default=1, help="number of exchanges (default 1)"
+    )
+    p_sim.add_argument(
+        "--seed", type=int, default=0, help="RNG seed for path sampling"
+    )
+    p_sim.add_argument(
+        "--fail-links",
+        type=int,
+        default=0,
+        metavar="N",
+        help="inject N random link failures and route around them",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep k and report E_max scaling for a family"
+    )
+    p_sweep.add_argument("--d", type=int, required=True)
+    p_sweep.add_argument(
+        "--ks", type=str, required=True, help="comma-separated radii, e.g. 4,6,8"
+    )
+    p_sweep.add_argument(
+        "--family",
+        choices=["linear", "multilinear-t2", "multilinear-t3", "fully-populated"],
+        default="linear",
+    )
+    p_sweep.add_argument("--routing", choices=["odr", "udr"], default="odr")
+    return parser
+
+
+def _add_torus_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--k", type=int, required=True, help="radix (>= 2)")
+    parser.add_argument("--d", type=int, required=True, help="dimensions (>= 1)")
+    parser.add_argument(
+        "--t", type=int, default=1, help="placement multiplicity (default 1)"
+    )
+    parser.add_argument(
+        "--routing", choices=["odr", "udr"], default="odr", help="routing algorithm"
+    )
+
+
+# --------------------------------------------------------------- commands
+
+
+def _cmd_design(args) -> int:
+    from repro.core.designer import design_placement
+
+    design = design_placement(args.k, args.d, t=args.t, routing=args.routing)
+    print(f"torus              : T_{args.k}^{args.d}")
+    print(f"placement          : {design.placement.name}")
+    print(f"|P|                : {design.size}")
+    print(f"routing            : {design.routing.name}")
+    print(f"paths per far pair : {design.paths_per_pair_max}")
+    print(f"predicted E_max <= : {design.predicted_emax_upper:g}")
+    print(f"lower bound     >= : {design.lower_bound:g}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core.analysis import analyze
+    from repro.core.designer import design_placement
+
+    design = design_placement(args.k, args.d, t=args.t, routing=args.routing)
+    report = analyze(design.placement, design.routing)
+    if getattr(args, "markdown", False):
+        from repro.core.report_md import analysis_report_md
+
+        print(analysis_report_md(design, report))
+        return 0 if report.emax >= report.bounds.best - 1e-9 else 1
+    print(f"configuration   : {design.placement.name} + {design.routing.name} "
+          f"on T_{args.k}^{args.d}")
+    print(f"E_max           : {report.emax:g}")
+    print(f"E_max/|P|       : {report.linearity_ratio:g}")
+    print(f"eq6 bound       : {report.bounds.eq6:g}")
+    if report.bounds.section4 is not None:
+        print(f"sec4 bound      : {report.bounds.section4:g}")
+    if report.bounds.eq8 is not None:
+        print(f"eq8 bound       : {report.bounds.eq8:g}")
+    print(f"optimality ratio: {report.optimality_ratio:.4f}")
+    print(f"dimension cut   : {report.dimension_cut_width} edges "
+          f"(balanced: {report.dimension_cut_balanced})")
+    print(f"hyperplane cut  : {report.hyperplane_cut_width} edges "
+          f"({report.hyperplane_array_crossings} array crossings)")
+    ok = report.emax >= report.bounds.best - 1e-9
+    print(f"bounds hold     : {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import get_experiment, run_all
+    from repro.experiments.runner import render_results
+
+    if args.only:
+        result = get_experiment(args.only).run(quick=args.quick)
+        print(result.render())
+        return 0 if result.passed else 1
+    results = run_all(quick=args.quick)
+    text = render_results(results, quick=args.quick)
+    print(text)
+    if args.write:
+        from pathlib import Path
+
+        Path(args.write).write_text(text, encoding="utf-8")
+        print(f"report written to {args.write}")
+    return 0 if all(r.passed for r in results.values()) else 1
+
+
+def _cmd_figure1(_args) -> int:
+    from repro.viz.ascii_art import render_figure1
+
+    print(render_figure1())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core.designer import design_placement
+    from repro.routing.faults import FaultMaskedRouting
+    from repro.sim.engine import CycleEngine
+    from repro.sim.fault_injection import random_link_failures
+    from repro.sim.metrics import summarize_link_counts
+    from repro.sim.network import SimNetwork
+    from repro.sim.workloads import build_packets, complete_exchange_packets
+
+    design = design_placement(args.k, args.d, t=args.t, routing=args.routing)
+    torus = design.torus
+    placement = design.placement
+    routing = design.routing
+
+    if args.fail_links:
+        failures = random_link_failures(torus, args.fail_links, seed=args.seed)
+        masked = FaultMaskedRouting(routing, failures)
+        coords = placement.coords()
+        pairs = [
+            (i, j)
+            for i in range(len(placement))
+            for j in range(len(placement))
+            if i != j and masked.is_connected(torus, coords[i], coords[j])
+        ]
+        lost = placement.ordered_pairs_count() - len(pairs)
+        packets = build_packets(placement, masked, pairs, seed=args.seed)
+        net = SimNetwork(torus, failed_edge_ids=failures)
+        print(f"injected {args.fail_links} link failures; "
+              f"{lost} pairs unreachable under {routing.name}")
+    else:
+        packets = complete_exchange_packets(
+            placement, routing, seed=args.seed, rounds=args.rounds
+        )
+        net = SimNetwork(torus)
+
+    result = CycleEngine(net).run(packets)
+    summary = summarize_link_counts(result.link_counts)
+    print(f"packets delivered : {result.delivered}")
+    print(f"completion        : {result.cycles} cycles")
+    print(f"mean latency      : {result.mean_latency:.2f} cycles")
+    print(f"max queue         : {result.max_queue_length}")
+    print(f"busiest link      : {summary.max_count} traversals")
+    print(f"links used        : {summary.used_links}/{torus.num_edges}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.scaling import fit_power_law, scaling_rows
+    from repro.placements.registry import get_family
+    from repro.routing.odr import OrderedDimensionalRouting
+    from repro.routing.udr import UnorderedDimensionalRouting
+    from repro.util.tables import Table
+
+    ks = [int(x) for x in args.ks.split(",")]
+    family = get_family(args.family)
+    routing_factory = (
+        OrderedDimensionalRouting
+        if args.routing == "odr"
+        else lambda d: UnorderedDimensionalRouting()
+    )
+    rows = scaling_rows(family, routing_factory, args.d, ks)
+    table = Table(["k", "|P|", "E_max", "E_max/|P|"],
+                  title=f"{args.family} + {args.routing.upper()} on d={args.d}")
+    for row in rows:
+        table.add_row(list(row))
+    print(table.render())
+    if len(rows) >= 2:
+        fit = fit_power_law([r[1] for r in rows], [r[2] for r in rows])
+        print(f"\ngrowth exponent: E_max ~ |P|^{fit.exponent:.3f} "
+              f"(R^2 = {fit.r_squared:.5f})")
+    return 0
+
+
+_COMMANDS = {
+    "design": _cmd_design,
+    "analyze": _cmd_analyze,
+    "experiments": _cmd_experiments,
+    "figure1": _cmd_figure1,
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except Exception as err:  # surface library errors as clean CLI failures
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's contribution as a user-facing API.
+
+* :func:`~repro.core.designer.design_placement` — "give me an optimal
+  placement + routing for :math:`T_k^d`": a (multiple) linear placement of
+  size :math:`tk^{d-1}` with ODR (simple) or UDR (fault-tolerant), plus the
+  paper's predicted load figures.
+* :func:`~repro.core.analysis.analyze` — measure everything about any
+  placement/routing pair: exact loads, every lower bound, constructive
+  bisections, optimality ratios.
+* :func:`~repro.core.verify.verify_linear_load` — sweep ``k`` through a
+  placement family and certify that :math:`E_{max}` grows linearly in
+  :math:`|P|`.
+* :mod:`repro.core.scaling` — power-law fits for the linear-vs-superlinear
+  headline comparison.
+"""
+
+from repro.core.designer import Design, design_placement
+from repro.core.analysis import PlacementAnalysis, analyze, compute_loads
+from repro.core.verify import LinearLoadCertificate, verify_linear_load
+from repro.core.report_md import analysis_report_md
+from repro.core.scaling import PowerLawFit, fit_power_law, scaling_rows
+
+__all__ = [
+    "Design",
+    "design_placement",
+    "PlacementAnalysis",
+    "analyze",
+    "compute_loads",
+    "LinearLoadCertificate",
+    "verify_linear_load",
+    "analysis_report_md",
+    "PowerLawFit",
+    "fit_power_law",
+    "scaling_rows",
+]

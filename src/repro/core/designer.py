@@ -1,0 +1,128 @@
+"""Optimal placement + routing designer (Sections 5–7 packaged).
+
+Given torus parameters the designer returns the paper's optimal
+construction: a linear placement (``t = 1``) or multiple linear placement
+(``t > 1``) of size :math:`tk^{d-1}` together with ODR or UDR, and the
+predicted load figures (the Section 6.1 closed forms and the Theorem 3/4/5
+upper bounds) so callers can compare predictions against measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.load import formulas
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.placements.multiple import multiple_linear_placement
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+from repro.util.validation import check_torus_params
+
+__all__ = ["Design", "design_placement"]
+
+
+@dataclass(frozen=True)
+class Design:
+    """An optimal placement/routing pair with its paper-predicted figures.
+
+    Attributes
+    ----------
+    torus, placement, routing:
+        The concrete construction.
+    t:
+        Multiplicity (1 = plain linear placement).
+    predicted_emax_upper:
+        The applicable load upper bound: Theorem 3's :math:`t^2k^{d-1}`
+        for ODR, Theorem 5's :math:`t^2 2^{d-1} k^{d-1}` for UDR.
+    lower_bound:
+        Section 4's dimension-independent bound
+        :math:`|P|^2/(8k^{d-1})`.
+    paths_per_pair_max:
+        Path multiplicity for maximally-separated pairs: 1 for ODR,
+        :math:`d!` for UDR (the fault-tolerance figure of merit).
+    """
+
+    torus: Torus
+    placement: Placement
+    routing: RoutingAlgorithm
+    t: int
+    predicted_emax_upper: float
+    lower_bound: float
+    paths_per_pair_max: int
+
+    @property
+    def size(self) -> int:
+        """:math:`|P| = tk^{d-1}`."""
+        return len(self.placement)
+
+
+def design_placement(
+    k: int,
+    d: int,
+    t: int = 1,
+    routing: str = "odr",
+    offset: int = 0,
+) -> Design:
+    """Build the paper's optimal placement + routing for :math:`T_k^d`.
+
+    Parameters
+    ----------
+    k, d:
+        Torus parameters.
+    t:
+        Placement multiplicity (``t = 1``: linear placement of size
+        :math:`k^{d-1}`; ``t > 1``: multiple linear placement of size
+        :math:`tk^{d-1}`).  The paper treats ``t`` as a constant ``< k``.
+    routing:
+        ``"odr"`` for the simple single-path algorithm, ``"udr"`` for the
+        fault-tolerant multi-path one.
+    offset:
+        Base congruence class of the placement.
+
+    Returns
+    -------
+    Design
+        The construction plus predicted load figures.
+    """
+    k, d = check_torus_params(k, d)
+    if not 1 <= t < max(k, 2):
+        raise InvalidParameterError(
+            f"multiplicity t must satisfy 1 <= t < k={k}, got {t}"
+        )
+    torus = Torus(k, d)
+    if t == 1:
+        placement = linear_placement(torus, offset=offset)
+    else:
+        placement = multiple_linear_placement(torus, t, base_offset=offset)
+
+    routing = routing.lower()
+    if routing == "odr":
+        algo: RoutingAlgorithm = OrderedDimensionalRouting(d)
+        upper = formulas.odr_multiple_upper_bound(k, d, t)
+        multiplicity = 1
+    elif routing == "udr":
+        algo = UnorderedDimensionalRouting()
+        upper = formulas.udr_multiple_upper_bound(k, d, t)
+        import math
+
+        multiplicity = math.factorial(d)
+    else:
+        raise InvalidParameterError(
+            f"routing must be 'odr' or 'udr', got {routing!r}"
+        )
+
+    return Design(
+        torus=torus,
+        placement=placement,
+        routing=algo,
+        t=t,
+        predicted_emax_upper=upper,
+        lower_bound=formulas.improved_lower_bound_from_size(
+            len(placement), k, d
+        ),
+        paths_per_pair_max=multiplicity,
+    )

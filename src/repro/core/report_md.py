@@ -1,0 +1,89 @@
+"""Markdown rendering of a design analysis — shareable one-pagers.
+
+:func:`analysis_report_md` turns a :class:`~repro.core.designer.Design`
+plus its :class:`~repro.core.analysis.PlacementAnalysis` into a compact
+markdown document: the configuration, the measured load figures, every
+paper bound with its margin, and the bisection certificates.  Used by
+users who want to drop an `analyze` result into an issue, a notebook, or
+a report.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import PlacementAnalysis
+from repro.core.designer import Design
+from repro.load import formulas
+from repro.util.tables import Table
+
+__all__ = ["analysis_report_md"]
+
+
+def analysis_report_md(design: Design, analysis: PlacementAnalysis) -> str:
+    """Render one design + analysis as a markdown report."""
+    torus = design.torus
+    k, d = torus.k, torus.d
+    parts = [
+        f"# Placement analysis — {design.placement.name} + "
+        f"{design.routing.name} on T_{k}^{d}",
+        "",
+        f"- torus: `{torus!r}` ({torus.num_nodes} nodes, "
+        f"{torus.num_edges} directed links)",
+        f"- placement: `{design.placement.name}`, |P| = {design.size} "
+        f"(t = {design.t})",
+        f"- routing: {design.routing.name} "
+        f"(up to {design.paths_per_pair_max} paths per far pair)",
+        f"- uniform placement: {'yes' if analysis.uniform else 'no'}",
+        "",
+        "## Measured load (complete exchange)",
+        "",
+    ]
+    load_table = Table(["quantity", "value"])
+    load_table.add_row(["E_max", analysis.emax])
+    load_table.add_row(["E_max / |P|", analysis.linearity_ratio])
+    load_table.add_row(["mean load (used links)", analysis.load.mean_nonzero])
+    load_table.add_row(
+        ["busiest link",
+         f"{analysis.load.argmax_edge.tail} -> {analysis.load.argmax_edge.head} "
+         f"(dim {analysis.load.argmax_edge.dim})"]
+    )
+    load_table.add_row(
+        ["links used", f"{analysis.load.used_edges}/{analysis.load.num_edges}"]
+    )
+    parts.append(load_table.render())
+    parts += ["", "## Paper bounds", ""]
+
+    bounds_table = Table(["bound", "value", "margin (E_max / bound)"])
+    bounds_table.add_row(
+        ["Eq. 6 (Blaum)", analysis.bounds.eq6, analysis.emax / analysis.bounds.eq6]
+    )
+    if analysis.bounds.section4 is not None:
+        bounds_table.add_row(
+            ["Sec. 4 (dimension-free)", analysis.bounds.section4,
+             analysis.emax / analysis.bounds.section4]
+        )
+    if analysis.bounds.eq8 is not None:
+        bounds_table.add_row(
+            ["Eq. 8 (measured bisection)", analysis.bounds.eq8,
+             analysis.emax / analysis.bounds.eq8]
+        )
+    bounds_table.add_row(
+        ["upper bound (Thm 3/5)", design.predicted_emax_upper,
+         analysis.emax / design.predicted_emax_upper]
+    )
+    parts.append(bounds_table.render())
+    parts += [
+        "",
+        f"optimality ratio (E_max / best lower bound): "
+        f"**{analysis.optimality_ratio:.3f}**",
+        "",
+        "## Bisection certificates",
+        "",
+        f"- Theorem 1 two-cut: {analysis.dimension_cut_width} directed edges "
+        f"(paper: {formulas.theorem1_bisection_width(k, d)}; balanced: "
+        f"{'yes' if analysis.dimension_cut_balanced else 'no'})",
+        f"- Appendix hyperplane sweep: {analysis.hyperplane_cut_width} "
+        f"directed edges, {analysis.hyperplane_array_crossings} array "
+        f"crossings (Corollary 1 cap: "
+        f"{formulas.corollary1_bisection_bound(k, d)})",
+    ]
+    return "\n".join(parts)

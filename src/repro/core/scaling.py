@@ -1,0 +1,70 @@
+"""Power-law scaling fits — the linear-vs-superlinear headline.
+
+The paper's whole point: fully populated tori have
+:math:`E_{max} = \\Theta(|P|^{1+1/d})` under complete exchange while the
+optimal partial placements achieve :math:`E_{max} = \\Theta(|P|)`.  Fitting
+:math:`E_{max} \\approx C\\,|P|^{\\alpha}` on a ``k``-sweep exposes the
+exponent directly: :math:`\\alpha \\approx 1` for linear placements,
+:math:`\\alpha \\approx 1 + 1/d` for the fully populated baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.analysis import compute_loads
+from repro.placements.base import PlacementFamily
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["PowerLawFit", "fit_power_law", "scaling_rows"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Log-log least-squares fit :math:`y = C x^{\\alpha}`."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit :math:`y = Cx^{\\alpha}` by linear regression in log-log space."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.size < 2:
+        raise ValueError("need at least two points for a power-law fit")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("power-law fit requires strictly positive data")
+    lx, ly = np.log(xs), np.log(ys)
+    a_mat = np.stack([lx, np.ones_like(lx)], axis=1)
+    (alpha, logc), res, _rank, _sv = np.linalg.lstsq(a_mat, ly, rcond=None)
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    ss_res = float(res[0]) if res.size else float(
+        ((ly - a_mat @ np.array([alpha, logc])) ** 2).sum()
+    )
+    return PowerLawFit(
+        exponent=float(alpha),
+        coefficient=float(np.exp(logc)),
+        r_squared=1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0,
+    )
+
+
+def scaling_rows(
+    family: PlacementFamily,
+    routing_factory: Callable[[int], RoutingAlgorithm],
+    d: int,
+    ks: Sequence[int],
+) -> list[tuple[int, int, float, float]]:
+    """Sweep ``ks`` and return ``(k, |P|, E_max, E_max/|P|)`` rows."""
+    routing = routing_factory(d)
+    rows = []
+    for k in ks:
+        placement = family.build(int(k), d)
+        loads = compute_loads(placement, routing)
+        emax = float(loads.max())
+        rows.append((int(k), len(placement), emax, emax / len(placement)))
+    return rows

@@ -1,0 +1,123 @@
+"""Linear-load certification across a ``k``-sweep.
+
+"Linear load" is a statement about a placement *family*: there must exist
+one constant ``c`` with :math:`E_{max} \\le c\\,|P_{d,k}|` for all ``k``.
+:func:`verify_linear_load` sweeps ``k``, measures :math:`E_{max}`, and
+reports the per-``k`` ratios plus a least-squares fit of
+:math:`E_{max} = a\\,|P| + b` — for a genuinely linear family the ratios
+stay bounded (empirically: converge) and the fit is near-perfect, while for
+the fully populated family the ratios grow without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.analysis import compute_loads
+from repro.placements.base import PlacementFamily
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["LinearLoadCertificate", "verify_linear_load"]
+
+
+@dataclass(frozen=True)
+class LinearLoadCertificate:
+    """Result of a linear-load sweep.
+
+    Attributes
+    ----------
+    ks, sizes, emaxes:
+        The sweep points: radix, :math:`|P|`, measured :math:`E_{max}`.
+    ratios:
+        :math:`E_{max}/|P|` per point.
+    slope, intercept, r_squared:
+        Least-squares fit of :math:`E_{max}` against :math:`|P|`.
+    growth_exponent:
+        Log-log power-law exponent of :math:`E_{max}` vs :math:`|P|` — the
+        sharpest linearity discriminator on short sweeps (a superlinear
+        family can still fit a line with high :math:`R^2`).
+    is_linear:
+        Verdict: ratios bounded (last ≤ ``tolerance`` × first) AND the data
+        is affine in :math:`|P|` — either the affine fit is essentially
+        perfect (:math:`R^2 \\ge 0.9995`, which covers exact laws like
+        :math:`E_{max} = |P| - 2` whose log-log exponent misleads on short
+        sweeps) or the growth exponent is ≤ 1.1.
+    """
+
+    ks: tuple[int, ...]
+    sizes: tuple[int, ...]
+    emaxes: tuple[float, ...]
+    ratios: tuple[float, ...]
+    slope: float
+    intercept: float
+    r_squared: float
+    growth_exponent: float
+    is_linear: bool
+
+
+def verify_linear_load(
+    family: PlacementFamily,
+    routing_factory: Callable[[int], RoutingAlgorithm],
+    d: int,
+    ks: Sequence[int],
+    tolerance: float = 2.0,
+) -> LinearLoadCertificate:
+    """Sweep ``ks``, measure :math:`E_{max}`, and certify linearity.
+
+    Parameters
+    ----------
+    family:
+        The placement description to sweep.
+    routing_factory:
+        ``d -> RoutingAlgorithm`` (e.g. ``OrderedDimensionalRouting``).
+    d:
+        Torus dimensionality (fixed across the sweep, per the paper's
+        "linear in :math:`|P|` for fixed ``d``" statements).
+    ks:
+        Radii to measure at; at least two.
+    tolerance:
+        Maximum allowed growth factor of :math:`E_{max}/|P|` across the
+        sweep before the family is declared non-linear.
+    """
+    ks = [int(k) for k in ks]
+    if len(ks) < 2:
+        raise ValueError("need at least two k values to certify linearity")
+    routing = routing_factory(d)
+    sizes, emaxes = [], []
+    for k in ks:
+        placement = family.build(k, d)
+        loads = compute_loads(placement, routing)
+        sizes.append(len(placement))
+        emaxes.append(float(loads.max()))
+    sizes_arr = np.array(sizes, dtype=np.float64)
+    emax_arr = np.array(emaxes, dtype=np.float64)
+    ratios = emax_arr / sizes_arr
+
+    a_mat = np.stack([sizes_arr, np.ones_like(sizes_arr)], axis=1)
+    (slope, intercept), res, _rank, _sv = np.linalg.lstsq(a_mat, emax_arr, rcond=None)
+    ss_tot = float(((emax_arr - emax_arr.mean()) ** 2).sum())
+    ss_res = float(res[0]) if res.size else float(
+        ((emax_arr - a_mat @ np.array([slope, intercept])) ** 2).sum()
+    )
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    # log-log exponent: the discriminator short sweeps actually need
+    lx, ly = np.log(sizes_arr), np.log(emax_arr)
+    exponent = float(np.polyfit(lx, ly, 1)[0])
+
+    bounded = float(ratios[-1]) <= tolerance * float(ratios[0])
+    affine = r_squared >= 0.9995 or exponent <= 1.1
+    return LinearLoadCertificate(
+        ks=tuple(ks),
+        sizes=tuple(int(s) for s in sizes),
+        emaxes=tuple(emaxes),
+        ratios=tuple(float(r) for r in ratios),
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        growth_exponent=exponent,
+        is_linear=bool(bounded and affine),
+    )

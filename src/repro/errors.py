@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of this package with a single ``except``
+clause while still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "PlacementError",
+    "RoutingError",
+    "BisectionError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A torus/placement/routing parameter is out of its legal domain.
+
+    Raised, for instance, for ``k < 2``, ``d < 1``, coefficient vectors of
+    the wrong length, or multiple-linear multiplicity ``t`` outside
+    ``1 <= t <= k``.
+    """
+
+
+class PlacementError(ReproError):
+    """A placement is structurally invalid for the requested operation.
+
+    Examples: a placement referencing nodes outside the torus, an empty
+    placement handed to a load analysis, or a non-uniform placement passed
+    to an algorithm that requires uniformity.
+    """
+
+
+class RoutingError(ReproError):
+    """A routing request cannot be satisfied.
+
+    Examples: asking for a route between nodes that are not both in the
+    placement, or a fault-masked routing relation that has no surviving
+    path between a pair.
+    """
+
+
+class BisectionError(ReproError):
+    """A bisection procedure failed to produce a balanced split."""
+
+
+class SimulationError(ReproError):
+    """The packet simulator was configured inconsistently or deadlocked."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured with parameters it cannot honour."""

@@ -1,0 +1,129 @@
+"""Experiment framework: declarative paper-vs-measured reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.util.tables import Table
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "experiment_ids",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment run produces.
+
+    Attributes
+    ----------
+    experiment_id, title:
+        Identity, echoed for report rendering.
+    tables:
+        The paper-vs-measured tables.
+    findings:
+        Human-readable one-liners summarizing what held and what didn't.
+    passed:
+        True iff every checked claim held (in its verified sense — see the
+        experiment docstrings for claims we reproduce with corrections).
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+    passed: bool = True
+
+    def check(self, condition: bool, finding: str) -> None:
+        """Record a claim check; a failed check fails the experiment."""
+        marker = "PASS" if condition else "FAIL"
+        self.findings.append(f"[{marker}] {finding}")
+        if not condition:
+            self.passed = False
+
+    def note(self, finding: str) -> None:
+        """Record an informational finding (does not affect the verdict)."""
+        self.findings.append(f"[note] {finding}")
+
+    def render(self) -> str:
+        """Full text report: title, tables, findings, verdict."""
+        parts = [f"## {self.experiment_id}: {self.title}", ""]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        if self.findings:
+            parts.append("Findings:")
+            parts.extend(f"- {f}" for f in self.findings)
+            parts.append("")
+        parts.append(f"Verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered reproduction experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable id, e.g. ``"EXP-7"``.
+    title:
+        One-line description.
+    paper_source:
+        Which part of the paper this reproduces (theorem/section/figure).
+    runner:
+        ``(quick: bool) -> ExperimentResult``; ``quick=True`` shrinks the
+        sweeps for benchmark timing loops.
+    """
+
+    experiment_id: str
+    title: str
+    paper_source: str
+    runner: Callable[[bool], ExperimentResult]
+
+    def run(self, quick: bool = False) -> ExperimentResult:
+        """Execute the experiment and return its result."""
+        return self.runner(quick)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(
+    experiment_id: str, title: str, paper_source: str
+) -> Callable[[Callable[[bool], ExperimentResult]], Callable[[bool], ExperimentResult]]:
+    """Decorator registering an experiment runner under ``experiment_id``."""
+
+    def wrap(fn: Callable[[bool], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_source=paper_source,
+            runner=fn,
+        )
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def experiment_ids() -> list[str]:
+    """All registered ids, sorted numerically."""
+    return sorted(_REGISTRY, key=lambda s: int(s.split("-")[1]))

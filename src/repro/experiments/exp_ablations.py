@@ -1,0 +1,121 @@
+"""EXP-21 and EXP-22 — ablation and exhaustive-certification experiments.
+
+EXP-21 (tie-break ablation): §6 notes that for even ``k`` the unrestricted
+ODR has multiple minimal paths (both directions of a half-ring tie).  The
+paper *restricts* to the ``+`` direction for analysis; this experiment
+measures what the restriction costs: splitting tie traffic lowers
+:math:`E_{max}` (and can only lower it), while totals are conserved and
+odd ``k`` is untouched (no ties exist).
+
+EXP-22 (global optimality by exhaustion): enumerate *every* placement of
+size :math:`k^{d-1}` on small tori and certify that the linear placement
+achieves the global minimum ODR :math:`E_{max}` — upgrading EXP-19's
+"local search never beat it" to "nothing beats it".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, register
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.catalog import global_minimum_emax
+from repro.placements.linear import linear_placement
+from repro.routing.odr_unrestricted import UnrestrictedODR
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+
+__all__ = ["run_tie_ablation", "run_global_optimality"]
+
+
+@register(
+    "EXP-21",
+    "Tie-break ablation: restricted vs unrestricted ODR on even k",
+    "Section 6 (the restricted-ODR convention)",
+)
+def run_tie_ablation(quick: bool = False) -> ExperimentResult:
+    """EXP-21: Tie-break ablation: restricted vs unrestricted ODR (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-21", "Tie-break ablation: restricted vs unrestricted ODR on even k"
+    )
+    configs = [(4, 2), (6, 2)] if quick else [(4, 2), (6, 2), (8, 2), (4, 3)]
+    configs += [(5, 2)]  # odd-k control
+    table = Table(
+        ["d", "k", "restricted E_max", "unrestricted E_max",
+         "unrestricted <= restricted", "totals equal"],
+        title="EXP-21: the + tie-break's cost on linear placements",
+    )
+    unrestricted_helps_even = True
+    odd_untouched = True
+    for k, d in configs:
+        placement = linear_placement(Torus(k, d))
+        restricted = odr_edge_loads(placement)
+        unrestricted = edge_loads_reference(placement, UnrestrictedODR())
+        r_max, u_max = float(restricted.max()), float(unrestricted.max())
+        totals_equal = abs(restricted.sum() - unrestricted.sum()) < 1e-9
+        table.add_row([d, k, r_max, u_max, u_max <= r_max + 1e-9, totals_equal])
+        result.check(
+            u_max <= r_max + 1e-9,
+            f"d={d} k={k}: splitting tie traffic never increases E_max "
+            f"({u_max:g} <= {r_max:g})",
+        )
+        result.check(
+            totals_equal,
+            f"d={d} k={k}: both conventions carry the same total traffic",
+        )
+        if k % 2 == 0:
+            unrestricted_helps_even &= u_max < r_max
+        else:
+            odd_untouched &= bool(np.allclose(restricted, unrestricted))
+    result.tables.append(table)
+    result.check(
+        unrestricted_helps_even,
+        "for every even-k configuration the unrestricted version strictly "
+        "lowers E_max (tie traffic dominated the busiest link)",
+    )
+    result.check(
+        odd_untouched,
+        "for odd k the two conventions produce identical loads (no ties "
+        "exist — matching the paper's |C| = 1 remark)",
+    )
+    return result
+
+
+@register(
+    "EXP-22",
+    "Global optimality by exhaustion: nothing beats the linear placement",
+    "Sections 4-6 (exhaustive certification extension)",
+)
+def run_global_optimality(quick: bool = False) -> ExperimentResult:
+    """EXP-22: Global optimality by exhaustion (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-22", "Global optimality by exhaustion: nothing beats the linear placement"
+    )
+    ks = [3] if quick else [3, 4]
+    table = Table(
+        ["k", "|P|", "placements evaluated", "global min E_max",
+         "linear E_max", "optimal placements"],
+        title="EXP-22: exhaustive sweep of all size-k placements on T_k^2 (ODR)",
+    )
+    for k in ks:
+        torus = Torus(k, 2)
+        catalog = global_minimum_emax(torus, k)
+        linear_emax = float(odr_edge_loads(linear_placement(torus)).max())
+        table.add_row(
+            [k, k, catalog.num_placements, catalog.minimum_emax, linear_emax,
+             catalog.num_optimal]
+        )
+        result.check(
+            abs(catalog.minimum_emax - linear_emax) < 1e-9,
+            f"T_{k}^2: the linear placement achieves the global minimum "
+            f"E_max = {catalog.minimum_emax:g} over all "
+            f"{catalog.num_placements} size-{k} placements",
+        )
+    result.tables.append(table)
+    result.note(
+        "this certifies optimality among equal-size placements exhaustively "
+        "— stronger than the paper's asymptotic lower-bound argument on "
+        "these instances"
+    )
+    return result

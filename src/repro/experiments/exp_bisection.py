@@ -1,0 +1,180 @@
+"""EXP-4 and EXP-5 — the bisection constructions.
+
+EXP-4 (Proposition 1 / Corollary 1 / Appendix): the hyperplane sweep
+bisects *any* placement — linear, random, block — crossing at most
+:math:`2dk^{d-1}` undirected array edges, and the resulting directed torus
+cut stays below Corollary 1's :math:`6dk^{d-1}`.
+
+EXP-5 (Theorem 1): for uniform placements, two antipodal dimension cuts
+remove exactly :math:`4k^{d-1}` directed edges and split the processors
+exactly in half.  On the tiny tori where the exact width is computable we
+additionally confirm :math:`4k^{d-1}` is *optimal* (equals the true
+:math:`|∂_b P|`).
+"""
+
+from __future__ import annotations
+
+from repro.bisection.dimension_cut import best_dimension_cut
+from repro.bisection.exact import MAX_EXACT_NODES, exact_bisection_width
+from repro.bisection.hyperplane import hyperplane_bisection
+from repro.experiments.base import ExperimentResult, register
+from repro.load import formulas
+from repro.placements.fully import block_placement
+from repro.placements.linear import linear_placement
+from repro.placements.multiple import multiple_linear_placement
+from repro.placements.random_placement import random_placement
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+
+__all__ = ["run_hyperplane", "run_dimension_cut"]
+
+
+@register(
+    "EXP-4",
+    "Hyperplane sweep bisects any placement within the Appendix bounds",
+    "Proposition 1, Corollary 1, Appendix",
+)
+def run_hyperplane(quick: bool = False) -> ExperimentResult:
+    """EXP-4: Hyperplane sweep bisects any placement within the Appendix bounds (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-4", "Hyperplane sweep bisects any placement within the Appendix bounds"
+    )
+    configs = [(6, 2), (4, 3)] if quick else [(6, 2), (8, 2), (4, 3), (6, 3), (4, 4)]
+    table = Table(
+        [
+            "d",
+            "k",
+            "placement",
+            "|P|",
+            "balance",
+            "array crossings",
+            "bound 2dk^(d-1)",
+            "torus cut",
+            "bound 6dk^(d-1)",
+        ],
+        title="EXP-4: hyperplane-sweep bisection vs the Appendix bounds",
+    )
+    for k, d in configs:
+        torus = Torus(k, d)
+        placements = [
+            linear_placement(torus),
+            random_placement(torus, max(2, torus.num_nodes // 3), seed=k * 100 + d),
+            block_placement(torus, max(2, k // 2)),
+        ]
+        for placement in placements:
+            sweep = hyperplane_bisection(placement)
+            arr_bound = formulas.appendix_sweep_bound(k, d)
+            cut_bound = formulas.corollary1_bisection_bound(k, d)
+            table.add_row(
+                [
+                    d,
+                    k,
+                    placement.name,
+                    len(placement),
+                    f"{sweep.processors_a}/{sweep.processors_b}",
+                    sweep.array_edges_crossed,
+                    arr_bound,
+                    sweep.torus_cut_size,
+                    cut_bound,
+                ]
+            )
+            result.check(
+                sweep.is_balanced,
+                f"{placement.name} on T_{k}^{d}: split is balanced within one",
+            )
+            result.check(
+                sweep.array_edges_crossed <= arr_bound,
+                f"{placement.name} on T_{k}^{d}: array crossings "
+                f"{sweep.array_edges_crossed} <= {arr_bound}",
+            )
+            result.check(
+                sweep.torus_cut_size <= cut_bound,
+                f"{placement.name} on T_{k}^{d}: directed torus cut "
+                f"{sweep.torus_cut_size} <= {cut_bound} (Corollary 1)",
+            )
+    result.tables.append(table)
+    return result
+
+
+@register(
+    "EXP-5",
+    "Theorem 1: uniform placements bisect with exactly 4k^(d-1) edges",
+    "Theorem 1",
+)
+def run_dimension_cut(quick: bool = False) -> ExperimentResult:
+    """EXP-5: Theorem 1: uniform placements bisect with exactly 4k^(d-1) edges (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-5", "Theorem 1: uniform placements bisect with exactly 4k^(d-1) edges"
+    )
+    configs = [(4, 2, 1), (6, 2, 1)] if quick else [
+        (4, 2, 1),
+        (6, 2, 1),
+        (8, 2, 2),
+        (4, 3, 1),
+        (6, 3, 2),
+        (4, 4, 1),
+    ]
+    table = Table(
+        ["d", "k", "t", "|P|", "cut size", "4k^(d-1)", "balance", "antipodal"],
+        title="EXP-5: two-cut bisection of (multiple) linear placements",
+    )
+    for k, d, t in configs:
+        torus = Torus(k, d)
+        placement = (
+            linear_placement(torus)
+            if t == 1
+            else multiple_linear_placement(torus, t)
+        )
+        cut = best_dimension_cut(placement)
+        expected = formulas.theorem1_bisection_width(k, d)
+        b1, b2 = cut.boundaries
+        antipodal = (b2 - b1) % k == k // 2 or (b1 - b2) % k == k // 2
+        table.add_row(
+            [
+                d,
+                k,
+                t,
+                len(placement),
+                cut.cut_size,
+                expected,
+                f"{cut.processors_a}/{cut.processors_b}",
+                antipodal,
+            ]
+        )
+        result.check(
+            cut.cut_size == expected,
+            f"T_{k}^{d} t={t}: cut removes exactly {expected} directed edges",
+        )
+        result.check(
+            cut.is_balanced and cut.imbalance == 0,
+            f"T_{k}^{d} t={t}: processors split exactly in half "
+            f"({cut.processors_a}/{cut.processors_b})",
+        )
+    result.tables.append(table)
+
+    # optimality certificate on tiny tori: the construction matches the
+    # exact bisection width
+    exact_configs = [(3, 2), (4, 2)]
+    table2 = Table(
+        ["d", "k", "exact |∂_b P|", "theorem 1 cut"],
+        title="EXP-5: exact bisection width vs Theorem 1 (exhaustive search)",
+    )
+    for k, d in exact_configs:
+        torus = Torus(k, d)
+        if torus.num_nodes > MAX_EXACT_NODES:
+            continue
+        placement = linear_placement(torus)
+        exact = exact_bisection_width(placement)
+        cut = best_dimension_cut(placement)
+        table2.add_row([d, k, exact, cut.cut_size])
+        result.check(
+            exact <= cut.cut_size,
+            f"T_{k}^{d}: exhaustive width {exact} <= constructive {cut.cut_size}",
+        )
+        result.note(
+            f"T_{k}^{d}: Theorem 1's cut is "
+            + ("exactly optimal" if exact == cut.cut_size else
+               f"within {cut.cut_size - exact} edges of optimal")
+        )
+    result.tables.append(table2)
+    return result

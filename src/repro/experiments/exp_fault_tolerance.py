@@ -1,0 +1,144 @@
+"""EXP-11 — Section 7's fault-tolerance motivation, quantified.
+
+Sweep the number of failed links; for each failure set count the ordered
+processor pairs whose entire routing relation is severed.  ODR offers one
+path per pair, UDR :math:`s!`, and the full minimal-path relation even
+more — so disconnection rates must be ordered
+``ODR >= UDR >= ALL-MIN``, with UDR dramatically better than ODR at
+moderate failure counts.
+
+Implementation note: each routing relation's path sets are enumerated once
+per pair and reused across every failure set (the relation itself does not
+depend on the faults).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, register
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.minimal import AllMinimalPaths
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.sim.fault_injection import random_link_failures
+from repro.torus.topology import Torus
+from repro.util.rng import spawn_rngs
+from repro.util.tables import Table
+
+__all__ = ["run"]
+
+
+def _pair_path_sets(
+    placement: Placement, routing: RoutingAlgorithm
+) -> list[list[frozenset[int]]]:
+    """Per ordered pair, the list of edge-sets of the routing's paths."""
+    torus = placement.torus
+    coords = placement.coords()
+    m = len(placement)
+    out = []
+    for i in range(m):
+        for j in range(m):
+            if i == j:
+                continue
+            out.append(
+                [
+                    frozenset(path.edge_ids)
+                    for path in routing.paths(torus, coords[i], coords[j])
+                ]
+            )
+    return out
+
+
+def _evaluate(
+    pair_paths: list[list[frozenset[int]]], failed: frozenset[int]
+) -> tuple[float, float]:
+    """(disconnection rate, mean surviving-path fraction) for one failure set."""
+    disconnected = 0
+    frac_sum = 0.0
+    for paths in pair_paths:
+        surviving = sum(1 for edges in paths if not edges & failed)
+        frac_sum += surviving / len(paths)
+        if surviving == 0:
+            disconnected += 1
+    n = len(pair_paths)
+    return disconnected / n, frac_sum / n
+
+
+@register(
+    "EXP-11",
+    "Fault tolerance: pair disconnection under link failures, ODR vs UDR",
+    "Section 7 (motivation)",
+)
+def run(quick: bool = False) -> ExperimentResult:
+    """EXP-11: Fault tolerance: pair disconnection under link failures, ODR vs UDR (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-11", "Fault tolerance: pair disconnection under link failures, ODR vs UDR"
+    )
+    k, d = (5, 2) if quick else (5, 3)
+    torus = Torus(k, d)
+    placement = linear_placement(torus)
+    trials = 2 if quick else 5
+    failure_counts = [2, 8] if quick else [4, 16, 48, 96]
+
+    relations = {
+        "ODR": _pair_path_sets(placement, OrderedDimensionalRouting(d)),
+        "UDR": _pair_path_sets(placement, UnorderedDimensionalRouting()),
+        "ALL-MIN": _pair_path_sets(placement, AllMinimalPaths()),
+    }
+
+    table = Table(
+        [
+            "failures",
+            "ODR disc. rate",
+            "UDR disc. rate",
+            "ALL-MIN disc. rate",
+            "ODR surv. paths",
+            "UDR surv. paths",
+        ],
+        title=f"EXP-11: mean disconnection rate over {trials} failure sets (T_{k}^{d})",
+    )
+    rngs = spawn_rngs(12345, trials)
+    ordering_ok = True
+    udr_beats_odr_somewhere = False
+    for f in failure_counts:
+        rates = {name: [] for name in relations}
+        fracs = {name: [] for name in relations}
+        for rng in rngs:
+            failed = frozenset(
+                int(e) for e in random_link_failures(torus, f, seed=rng)
+            )
+            for name, pair_paths in relations.items():
+                rate, frac = _evaluate(pair_paths, failed)
+                rates[name].append(rate)
+                fracs[name].append(frac)
+        mean = {name: float(np.mean(vals)) for name, vals in rates.items()}
+        table.add_row(
+            [
+                f,
+                mean["ODR"],
+                mean["UDR"],
+                mean["ALL-MIN"],
+                float(np.mean(fracs["ODR"])),
+                float(np.mean(fracs["UDR"])),
+            ]
+        )
+        ordering_ok &= (
+            mean["ALL-MIN"] <= mean["UDR"] + 1e-12
+            and mean["UDR"] <= mean["ODR"] + 1e-12
+        )
+        if mean["UDR"] < mean["ODR"]:
+            udr_beats_odr_somewhere = True
+    result.tables.append(table)
+    result.check(
+        ordering_ok,
+        "disconnection rates are ordered ALL-MIN <= UDR <= ODR at every "
+        "failure count",
+    )
+    result.check(
+        udr_beats_odr_somewhere,
+        "UDR strictly beats ODR at some failure count (the Section 7 claim)",
+    )
+    return result

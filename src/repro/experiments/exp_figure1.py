@@ -1,0 +1,65 @@
+"""EXP-2 — Fig. 1: three processors on :math:`T_3^2` and their routes.
+
+Reproduces the paper's only figure: the diagonal placement of three
+processors on the 3×3 torus with every link lying on a specified shortest
+path highlighted.  Checks the combinatorial facts the figure depicts:
+placement size 3, pairwise Lee distance 2, two minimal paths per ordered
+pair (no half-ring ties at k=3), and the exact set of highlighted links.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, register
+from repro.placements.linear import linear_placement
+from repro.routing.minimal import AllMinimalPaths, count_minimal_paths
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+from repro.viz.ascii_art import highlighted_edges, render_figure1
+
+__all__ = ["run"]
+
+
+@register(
+    "EXP-2",
+    "Figure 1: placement of three processors on T_3^2",
+    "Fig. 1",
+)
+def run(quick: bool = False) -> ExperimentResult:
+    """EXP-2: Figure 1: placement of three processors on T_3^2 (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-2", "Figure 1: placement of three processors on T_3^2"
+    )
+    torus = Torus(3, 2)
+    placement = linear_placement(torus)
+    coords = [tuple(int(x) for x in c) for c in placement.coords()]
+    result.check(len(placement) == 3, f"placement has 3 processors: {coords}")
+
+    routing = AllMinimalPaths()
+    table = Table(
+        ["pair", "Lee distance", "#minimal paths"],
+        title="EXP-2: pairwise routes in the Fig. 1 placement",
+    )
+    all_dist_two = True
+    all_two_paths = True
+    for i in range(3):
+        for j in range(3):
+            if i == j:
+                continue
+            dist = torus.lee_distance(coords[i], coords[j])
+            n_paths = count_minimal_paths(torus, coords[i], coords[j])
+            table.add_row([f"{coords[i]}->{coords[j]}", dist, n_paths])
+            all_dist_two &= dist == 2
+            all_two_paths &= n_paths == 2
+    result.tables.append(table)
+    result.check(all_dist_two, "every processor pair is at Lee distance 2")
+    result.check(
+        all_two_paths, "every ordered pair has exactly 2 minimal paths"
+    )
+
+    used = highlighted_edges(placement, routing)
+    result.check(
+        len(used) == 24,
+        f"{len(used)} directed links lie on specified shortest paths",
+    )
+    result.note("ASCII rendering:\n" + render_figure1())
+    return result

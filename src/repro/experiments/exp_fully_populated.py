@@ -1,0 +1,67 @@
+"""EXP-1 — Section 1 motivation: the fully populated torus is superlinear.
+
+The paper's opening calculation: under complete exchange, the
+:math:`2(k^d/2)(k^d/2)` messages crossing the bisection of a fully
+populated torus share :math:`4k^{d-1}` links, so some link carries load
+:math:`> k^{d+1}/8` — superlinear in the :math:`k^d` processors.  We
+measure actual ODR loads for fully populated tori, check the bound, and
+fit the growth exponent of :math:`E_{max}` vs :math:`|P|` (expect
+:math:`1 + 1/d` asymptotically, i.e. > 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.scaling import fit_power_law
+from repro.experiments.base import ExperimentResult, register
+from repro.load import formulas
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.fully import fully_populated_placement
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+
+__all__ = ["run"]
+
+
+@register(
+    "EXP-1",
+    "Fully populated torus: superlinear maximum load",
+    "Section 1 (motivating calculation)",
+)
+def run(quick: bool = False) -> ExperimentResult:
+    """EXP-1: Fully populated torus: superlinear maximum load (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-1", "Fully populated torus: superlinear maximum load"
+    )
+    configs = {
+        2: [4, 6, 8] if quick else [4, 6, 8, 10, 12],
+        3: [4] if quick else [4, 6],
+    }
+    table = Table(
+        ["d", "k", "|P|", "measured E_max", "paper bound k^(d+1)/8", "E_max/|P|"],
+        title="EXP-1: fully populated tori under complete exchange (ODR)",
+    )
+    for d, ks in configs.items():
+        sizes, emaxes = [], []
+        for k in ks:
+            torus = Torus(k, d)
+            placement = fully_populated_placement(torus)
+            emax = float(odr_edge_loads(placement).max())
+            bound = formulas.fully_populated_bisection_load(k, d)
+            table.add_row([d, k, len(placement), emax, bound, emax / len(placement)])
+            result.check(
+                emax > bound,
+                f"d={d} k={k}: some link exceeds the k^(d+1)/8 averaging bound "
+                f"({emax:.1f} > {bound:.1f})",
+            )
+            sizes.append(len(placement))
+            emaxes.append(emax)
+        if len(sizes) >= 2:
+            fit = fit_power_law(sizes, emaxes)
+            result.check(
+                fit.exponent > 1.15,
+                f"d={d}: E_max grows superlinearly in |P| "
+                f"(fitted exponent {fit.exponent:.3f}, paper predicts "
+                f"1+1/d={1 + 1 / d:.3f})",
+            )
+    result.tables.append(table)
+    return result

@@ -1,0 +1,168 @@
+"""EXP-7 and EXP-8 — ODR load analysis (Theorems 2 and 3).
+
+EXP-7 (Theorem 2 + Section 6.1): linear placement + ODR.
+
+* Theorem 2's bound holds: :math:`E_{max} \\le k^{d-1}` — load linear in
+  :math:`|P| = k^{d-1}`.
+* Section 6.1's refined expressions — :math:`k^{d-1}/8 + k^{d-2}/4` (even
+  ``k``), :math:`k^{d-1}/8 - k^{d-3}/8` (odd) — are reproduced **exactly**
+  as the maximum load over *interior*-dimension edges (dimensions
+  ``2 … d-1``, 1-based) for every ``d ≥ 3`` and both parities.
+* Reproduction finding: the *global* maximum sits on boundary-dimension
+  edges (first/last), where one congruence degenerates, at exactly
+  :math:`\\lfloor k/2\\rfloor k^{d-2}` — about 4× the paper's figure yet
+  still linear (coefficient 1/2), so Theorem 2 stands as stated.
+
+EXP-8 (Theorem 3): multiple linear placements + ODR stay within
+:math:`t^2k^{d-1}` and keep :math:`E_{max}/|P|` flat in ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, register
+from repro.load import formulas
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.linear import linear_placement
+from repro.placements.multiple import multiple_linear_placement
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+
+__all__ = ["run_odr_linear", "run_odr_multiple"]
+
+
+def _per_dimension_max(torus, loads: np.ndarray) -> list[float]:
+    _tails, dims, _signs = torus.edges.decode_arrays(
+        np.arange(torus.num_edges, dtype=np.int64)
+    )
+    return [float(loads[dims == s].max()) for s in range(torus.d)]
+
+
+@register(
+    "EXP-7",
+    "ODR on linear placements: Theorem 2 and the Section 6.1 closed forms",
+    "Theorem 2, Section 6.1",
+)
+def run_odr_linear(quick: bool = False) -> ExperimentResult:
+    """EXP-7: ODR on linear placements: Theorem 2 and the Section 6.1 closed forms (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-7", "ODR on linear placements: Theorem 2 and the Section 6.1 closed forms"
+    )
+    configs = {
+        3: [4, 5, 6, 8] if quick else [4, 5, 6, 7, 8, 9, 10, 12],
+        4: [4] if quick else [3, 4, 5, 6],
+    }
+    table = Table(
+        [
+            "d",
+            "k",
+            "|P|",
+            "global E_max",
+            "boundary form fl(k/2)k^(d-2)",
+            "interior E_max",
+            "paper Sec6.1 form",
+            "thm2 bound k^(d-1)",
+        ],
+        title="EXP-7: ODR loads on linear placements",
+    )
+    for d, ks in configs.items():
+        for k in ks:
+            torus = Torus(k, d)
+            placement = linear_placement(torus)
+            loads = odr_edge_loads(placement)
+            per_dim = _per_dimension_max(torus, loads)
+            global_max = max(per_dim)
+            interior = max(per_dim[1 : d - 1])
+            paper = formulas.odr_linear_emax_exact(k, d)
+            boundary_form = formulas.odr_linear_emax_boundary(k, d)
+            thm2 = float(k ** (d - 1))
+            table.add_row(
+                [d, k, len(placement), global_max, boundary_form, interior, paper, thm2]
+            )
+            result.check(
+                abs(interior - paper) < 1e-9,
+                f"d={d} k={k}: interior-dimension max equals the paper's "
+                f"Section 6.1 expression exactly ({paper:g})",
+            )
+            result.check(
+                abs(global_max - boundary_form) < 1e-9,
+                f"d={d} k={k}: global max equals floor(k/2)*k^(d-2) "
+                f"({boundary_form:g})",
+            )
+            result.check(
+                global_max <= thm2 + 1e-9,
+                f"d={d} k={k}: Theorem 2 bound E_max <= k^(d-1) holds "
+                f"({global_max:g} <= {thm2:g})",
+            )
+    result.tables.append(table)
+
+    # linearity of E_max/|P| in k (Theorem 2's actual claim)
+    ks = [4, 6, 8] if quick else [4, 6, 8, 10, 12, 14]
+    ratios = []
+    for k in ks:
+        placement = linear_placement(Torus(k, 3))
+        ratios.append(float(odr_edge_loads(placement).max()) / len(placement))
+    result.check(
+        max(ratios) <= 0.5 + 1e-9 and min(ratios) >= 0.25,
+        f"E_max/|P| stays in [1/4, 1/2] across k={ks}: {['%.3f' % r for r in ratios]}",
+    )
+    result.note(
+        "reproduction finding: the paper's Section 6.1 formula describes "
+        "interior-dimension edges; boundary-dimension edges carry "
+        "floor(k/2)k^(d-2) (~4x), still linear in |P| — Theorem 2 stands"
+    )
+    return result
+
+
+@register(
+    "EXP-8",
+    "ODR on multiple linear placements stays within t^2 k^(d-1)",
+    "Theorem 3",
+)
+def run_odr_multiple(quick: bool = False) -> ExperimentResult:
+    """EXP-8: ODR on multiple linear placements stays within t^2 k^(d-1) (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-8", "ODR on multiple linear placements stays within t^2 k^(d-1)"
+    )
+    d = 3
+    ks = [4, 6] if quick else [4, 6, 8, 10]
+    ts = [1, 2] if quick else [1, 2, 3]
+    table = Table(
+        ["d", "k", "t", "|P|", "E_max", "thm3 bound t^2 k^(d-1)",
+         "interior E_max", "t^2 * Sec6.1 form", "E_max/|P|"],
+        title="EXP-8: multiple linear placements under ODR",
+    )
+    for t in ts:
+        ratios = []
+        for k in ks:
+            if t >= k:
+                continue
+            torus = Torus(k, d)
+            placement = multiple_linear_placement(torus, t)
+            loads = odr_edge_loads(placement)
+            emax = float(loads.max())
+            per_dim = _per_dimension_max(torus, loads)
+            interior = max(per_dim[1 : d - 1])
+            interior_form = formulas.odr_multiple_emax_interior(k, d, t)
+            bound = formulas.odr_multiple_upper_bound(k, d, t)
+            ratio = emax / len(placement)
+            ratios.append(ratio)
+            table.add_row([d, k, t, len(placement), emax, bound,
+                           interior, interior_form, ratio])
+            result.check(
+                emax <= bound + 1e-9,
+                f"k={k} t={t}: E_max={emax:g} <= t^2 k^(d-1)={bound:g}",
+            )
+            result.check(
+                abs(interior - interior_form) < 1e-9,
+                f"k={k} t={t}: interior-dimension max equals t^2 x the "
+                f"Sec. 6.1 expression exactly ({interior_form:g})",
+            )
+        result.check(
+            max(ratios) <= 2.0 * min(ratios),
+            f"t={t}: E_max/|P| bounded across k (ratios "
+            f"{['%.3f' % r for r in ratios]})",
+        )
+    result.tables.append(table)
+    return result

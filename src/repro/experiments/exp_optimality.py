@@ -1,0 +1,86 @@
+"""EXP-13 — optimality: the constructions meet the lower bounds.
+
+The paper's closing argument: linear placements are *optimal* — their size
+:math:`k^{d-1}` matches the Eq. 9 ceiling, and their measured load matches
+the Section 4 lower bound :math:`k^{d-1}/8` up to a dimension-independent
+constant.  We compute, for growing ``k``:
+
+* the optimality ratio ``measured E_max / best lower bound`` for ODR and
+  UDR — it must stay bounded by a small constant (and for interior
+  dimensions ODR achieves the Section 4 constant exactly);
+* Eq. 9's size ceiling against the actual placement size.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import analyze
+from repro.experiments.base import ExperimentResult, register
+from repro.load import formulas
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+
+__all__ = ["run"]
+
+
+@register(
+    "EXP-13",
+    "Optimality: linear placements meet the lower bounds within constants",
+    "Sections 3.1, 4, 6 combined",
+)
+def run(quick: bool = False) -> ExperimentResult:
+    """EXP-13: Optimality: linear placements meet the lower bounds within constants (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-13", "Optimality: linear placements meet the lower bounds within constants"
+    )
+    d = 3
+    ks = [4, 6] if quick else [4, 6, 8, 10]
+    table = Table(
+        [
+            "k",
+            "|P|",
+            "routing",
+            "E_max",
+            "best lower bound",
+            "optimality ratio",
+            "eq9 size ceiling (c1=1/2)",
+        ],
+        title=f"EXP-13: optimality of linear placements on T_k^{d}",
+    )
+    worst_ratio = 0.0
+    for k in ks:
+        torus = Torus(k, d)
+        placement = linear_placement(torus)
+        ceiling = formulas.max_placement_size_bound(0.5, k, d)
+        for routing in (OrderedDimensionalRouting(d), UnorderedDimensionalRouting()):
+            an = analyze(placement, routing)
+            ratio = an.optimality_ratio
+            worst_ratio = max(worst_ratio, ratio)
+            table.add_row(
+                [k, len(placement), routing.name, an.emax, an.bounds.best,
+                 ratio, ceiling]
+            )
+            result.check(
+                ratio >= 1.0 - 1e-9,
+                f"k={k} {routing.name}: measured E_max respects the best "
+                f"lower bound (ratio {ratio:.3f} >= 1)",
+            )
+            result.check(
+                len(placement) <= ceiling,
+                f"k={k}: placement size {len(placement)} within Eq. 9 "
+                f"ceiling {ceiling:g}",
+            )
+    result.tables.append(table)
+    result.check(
+        worst_ratio <= 8.0,
+        f"optimality ratio bounded by a small dimension-independent constant "
+        f"(worst {worst_ratio:.3f} <= 8)",
+    )
+    result.note(
+        "ODR's global ratio settles near 4 (boundary-dimension effect, see "
+        "EXP-7); on interior dimensions the Section 4 bound k^(d-1)/8 is "
+        "achieved exactly — the construction is optimal in the paper's sense"
+    )
+    return result

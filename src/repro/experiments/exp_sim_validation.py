@@ -1,0 +1,115 @@
+"""EXP-12 — simulator-vs-analysis validation and the headline scaling.
+
+Two parts:
+
+1. **Validation.**  The packet simulator's per-link traversal counters must
+   equal the analytic ODR loads *exactly* (single-path routing) and
+   converge to the fractional UDR loads over repeated exchanges
+   (Monte-Carlo).  Totals always agree (conservation).
+2. **Headline.**  Simulated busiest-link traffic per exchange grows
+   linearly with :math:`|P|` for linear placements but superlinearly for
+   the fully populated torus — the paper's reason to depopulate.
+"""
+
+from __future__ import annotations
+
+from repro.core.scaling import fit_power_law
+from repro.experiments.base import ExperimentResult, register
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.fully import fully_populated_placement
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.sim.validate import compare_sim_to_analytic
+from repro.torus.topology import Torus
+from repro.util.tables import Table
+
+__all__ = ["run"]
+
+
+@register(
+    "EXP-12",
+    "Packet simulator reproduces analytic loads; linear vs superlinear headline",
+    "Definitions 4-5 (simulator substitution, DESIGN.md §2)",
+)
+def run(quick: bool = False) -> ExperimentResult:
+    """EXP-12: Packet simulator reproduces analytic loads; linear vs superlinear headline (see module docstring)."""
+    result = ExperimentResult(
+        "EXP-12",
+        "Packet simulator reproduces analytic loads; linear vs superlinear headline",
+    )
+    # --- part 1: validation -------------------------------------------------
+    k, d = (4, 2) if quick else (6, 2)
+    torus = Torus(k, d)
+    placement = linear_placement(torus)
+    odr = OrderedDimensionalRouting(d)
+    rep_odr = compare_sim_to_analytic(
+        placement, odr, odr_edge_loads(placement), rounds=1, seed=7
+    )
+    result.check(
+        rep_odr.exact_match,
+        f"T_{k}^{d} ODR: simulated link counters equal analytic loads exactly",
+    )
+
+    udr = UnorderedDimensionalRouting()
+    rounds = 10 if quick else 60
+    rep_udr = compare_sim_to_analytic(
+        placement, udr, udr_edge_loads(placement), rounds=rounds, seed=7
+    )
+    result.check(
+        abs(rep_udr.total_sim - rep_udr.total_analytic) < 1e-9,
+        "UDR: total simulated traffic equals total analytic load "
+        "(conservation)",
+    )
+    result.check(
+        rep_udr.max_abs_error <= 0.5,
+        f"UDR: per-link Monte-Carlo error small after {rounds} exchanges "
+        f"(max abs error {rep_udr.max_abs_error:.3f})",
+    )
+    table = Table(
+        ["routing", "rounds", "sim E_max", "analytic E_max", "max abs error"],
+        title=f"EXP-12: simulator vs analysis on T_{k}^{d}",
+    )
+    table.add_row(["ODR", 1, rep_odr.sim_emax, rep_odr.analytic_emax, rep_odr.max_abs_error])
+    table.add_row(["UDR", rounds, rep_udr.sim_emax, rep_udr.analytic_emax, rep_udr.max_abs_error])
+    result.tables.append(table)
+
+    # --- part 2: the headline scaling --------------------------------------
+    ks = [4, 6] if quick else [4, 6, 8]
+    table2 = Table(
+        ["k", "family", "|P|", "sim busiest link", "per-processor"],
+        title="EXP-12: simulated busiest-link traffic, partial vs full (d=2, ODR)",
+    )
+    rows = {"linear": [], "full": []}
+    for k2 in ks:
+        torus2 = Torus(k2, 2)
+        for name, placement2 in (
+            ("linear", linear_placement(torus2)),
+            ("full", fully_populated_placement(torus2)),
+        ):
+            rep = compare_sim_to_analytic(
+                placement2,
+                OrderedDimensionalRouting(2),
+                odr_edge_loads(placement2),
+                rounds=1,
+                seed=11,
+            )
+            rows[name].append((len(placement2), rep.sim_emax))
+            table2.add_row(
+                [k2, name, len(placement2), rep.sim_emax,
+                 rep.sim_emax / len(placement2)]
+            )
+    result.tables.append(table2)
+    fit_linear = fit_power_law(*zip(*rows["linear"]))
+    fit_full = fit_power_law(*zip(*rows["full"]))
+    result.check(
+        fit_linear.exponent < 1.1,
+        f"linear placement: busiest-link exponent {fit_linear.exponent:.3f} ~ 1",
+    )
+    result.check(
+        fit_full.exponent > 1.2,
+        f"fully populated: busiest-link exponent {fit_full.exponent:.3f} > 1 "
+        "(superlinear, per Section 1)",
+    )
+    return result

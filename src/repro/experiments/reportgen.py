@@ -1,0 +1,26 @@
+"""Write the experiment report to disk (keeps EXPERIMENTS.md refreshable).
+
+``python -m repro experiments --write PATH`` (or calling
+:func:`write_report` directly) runs the full suite and writes the rendered
+markdown, so the measured half of ``EXPERIMENTS.md`` can be regenerated
+after any change to the experiments or the machinery.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.runner import render_all
+
+__all__ = ["write_report"]
+
+
+def write_report(path, quick: bool = False) -> Path:
+    """Run every experiment and write the combined markdown report to ``path``.
+
+    Returns the resolved path written.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_all(quick=quick), encoding="utf-8")
+    return out.resolve()

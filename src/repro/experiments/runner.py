@@ -1,0 +1,38 @@
+"""Run the whole experiment suite and render a combined report."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, experiment_ids, get_experiment
+
+__all__ = ["run_all", "render_results", "render_all"]
+
+
+def run_all(quick: bool = False) -> dict[str, ExperimentResult]:
+    """Execute every registered experiment; returns ``{id: result}``."""
+    return {
+        exp_id: get_experiment(exp_id).run(quick=quick)
+        for exp_id in experiment_ids()
+    }
+
+
+def render_results(
+    results: dict[str, ExperimentResult], quick: bool = False
+) -> str:
+    """Render already-computed results as one markdown report."""
+    parts = ["# Reproduction experiment report", ""]
+    passed = sum(1 for r in results.values() if r.passed)
+    parts.append(
+        f"{passed}/{len(results)} experiments passed "
+        f"({'quick' if quick else 'full'} sweeps)."
+    )
+    parts.append("")
+    for exp_id in experiment_ids():
+        if exp_id in results:
+            parts.append(results[exp_id].render())
+            parts.append("")
+    return "\n".join(parts)
+
+
+def render_all(quick: bool = False) -> str:
+    """Run everything and produce one markdown report."""
+    return render_results(run_all(quick=quick), quick=quick)

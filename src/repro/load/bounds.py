@@ -1,0 +1,112 @@
+"""Lemma 1 machinery: concrete separator-based lower bounds on a placement.
+
+:func:`separator_edges` computes :math:`∂S` — all directed torus edges with
+exactly one endpoint in ``S`` — and the bound functions instantiate
+Lemma 1/Eqs. (6)–(8) on real node sets, so experiments can check each
+measured :math:`E_{max}` against every bound the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bisection.separator import separator_edges, separator_size
+from repro.load import formulas
+from repro.placements.base import Placement
+
+__all__ = [
+    "separator_edges",
+    "separator_size",
+    "lemma1_bound",
+    "eq6_bound",
+    "eq8_bound",
+    "section4_bound",
+    "best_known_lower_bound",
+    "BoundReport",
+]
+
+
+def lemma1_bound(placement: Placement, s_node_ids) -> float:
+    """Lemma 1 instantiated on a concrete ``S ⊆ P``.
+
+    ``s_node_ids`` must be a subset of the placement's nodes; the separator
+    is computed on the torus (router nodes count as outside ``S``).
+    """
+    s_ids = np.unique(np.asarray(s_node_ids, dtype=np.int64))
+    if not np.all(np.isin(s_ids, placement.node_ids)):
+        raise ValueError("S must be a subset of the placement's nodes")
+    boundary = separator_size(placement.torus, s_ids)
+    return formulas.separator_lower_bound(
+        int(s_ids.size), len(placement), boundary
+    )
+
+
+def eq6_bound(placement: Placement) -> float:
+    """Eq. (6): :math:`E_{max} \\ge (|P|-1)/2d` (Blaum et al.)."""
+    return formulas.blaum_lower_bound(len(placement), placement.torus.d)
+
+
+def eq8_bound(placement: Placement, bisection_width: int) -> float:
+    """Eq. (8): the half-split Lemma 1 bound, given a concrete
+    bisection-width-with-respect-to-``P`` value."""
+    return formulas.bisection_lower_bound(len(placement), bisection_width)
+
+
+def section4_bound(placement: Placement) -> float:
+    """Section 4's dimension-independent bound for uniform placements.
+
+    Uses :math:`|∂_b P| = 4k^{d-1}` (Theorem 1) in Eq. (8):
+    :math:`E_{max} \\ge |P|^2/(8k^{d-1})`.
+    """
+    torus = placement.torus
+    return formulas.improved_lower_bound_from_size(
+        len(placement), torus.k, torus.d
+    )
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """All the paper's lower bounds evaluated on one placement.
+
+    ``section4`` is ``None`` when the placement is not uniform — the
+    Section 4 bound relies on Theorem 1's :math:`4k^{d-1}` bisection, which
+    is only proved for uniform placements.
+    """
+
+    eq6: float
+    section4: float | None
+    eq8: float | None
+
+    @property
+    def best(self) -> float:
+        """The tightest (largest) applicable lower bound."""
+        candidates = [self.eq6]
+        if self.section4 is not None:
+            candidates.append(self.section4)
+        if self.eq8 is not None:
+            candidates.append(self.eq8)
+        return max(candidates)
+
+
+def best_known_lower_bound(
+    placement: Placement, bisection_width: int | None = None
+) -> BoundReport:
+    """Evaluate Eq. (6), the Section 4 bound (uniform placements only), and
+    — when a concrete width is supplied — Eq. (8).
+
+    ``bisection_width`` should come from :mod:`repro.bisection` when the
+    caller has computed a concrete :math:`|∂_b P|` certificate.
+    """
+    from repro.placements.analysis import is_uniform
+
+    return BoundReport(
+        eq6=eq6_bound(placement),
+        section4=section4_bound(placement) if is_uniform(placement) else None,
+        eq8=(
+            eq8_bound(placement, bisection_width)
+            if bisection_width is not None
+            else None
+        ),
+    )

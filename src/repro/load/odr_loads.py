@@ -1,0 +1,200 @@
+"""Vectorized exact edge loads for dimension-ordered routing.
+
+ODR (and any fixed dimension-order variant) routes each ordered pair over
+exactly one canonical path, so Definition 4 degenerates to *counting the
+pairs whose path crosses each edge*.  The path structure lets us do this
+without materializing any path:
+
+* While dimension ``s`` is being corrected, the walker sits at the mixed
+  coordinate ``(q_1, …, q_{s-1}, x, p_{s+1}, …, p_d)`` with ``x`` sweeping
+  the minimal segment from ``p_s`` towards ``q_s``.
+* So for every pair we know, per dimension, exactly which edges are
+  traversed, and can accumulate them with one ``np.add.at`` per segment
+  step — :math:`O(d\\,\\lceil k/2\\rceil)` vectorized passes over the
+  ``|P|^2`` pair arrays, no Python-level per-pair loop.
+
+This scales to every sweep size the experiments use (e.g. ``k=20, d=3``:
+400 processors, 160 000 pairs) in milliseconds-to-seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.placements.base import Placement
+from repro.util.modular import minimal_correction_array
+
+__all__ = [
+    "odr_edge_loads",
+    "dimension_order_edge_loads",
+    "accumulate_pair_loads",
+    "odr_edge_loads_swap_delta",
+]
+
+
+def odr_edge_loads(
+    placement: Placement,
+    pair_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact per-edge loads under ODR (ascending dimension order)."""
+    return dimension_order_edge_loads(
+        placement, order=range(placement.torus.d), pair_weights=pair_weights
+    )
+
+
+def dimension_order_edge_loads(
+    placement: Placement,
+    order,
+    pair_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact per-edge loads for an arbitrary fixed dimension order.
+
+    Parameters
+    ----------
+    placement:
+        The processor placement ``P``.
+    order:
+        Permutation of ``range(d)`` — the order dimensions are corrected
+        in (``range(d)`` is ODR).
+    pair_weights:
+        Optional ``(|P|, |P|)`` traffic multiplicities (see
+        :func:`repro.load.edge_loads.edge_loads_reference`).  Default:
+        complete exchange.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64`` loads for all ``2d·k^d`` directed edges.
+    """
+    torus = placement.torus
+    k, d = torus.k, torus.d
+    order = tuple(int(i) for i in order)
+    if sorted(order) != list(range(d)):
+        raise RoutingError(f"order must be a permutation of range({d}), got {order}")
+
+    coords = placement.coords()
+    m = coords.shape[0]
+    # all ordered pairs (i, j), i != j, as flat index arrays
+    idx = np.arange(m)
+    pi, qi = np.meshgrid(idx, idx, indexing="ij")
+    keep = pi != qi
+    pi, qi = pi[keep], qi[keep]
+    p = coords[pi]  # (n_pairs, d)
+    q = coords[qi]
+
+    if pair_weights is not None:
+        pair_weights = np.asarray(pair_weights, dtype=np.float64)
+        if pair_weights.shape != (m, m):
+            raise ValueError(
+                f"pair_weights must have shape ({m}, {m}), got {pair_weights.shape}"
+            )
+        weights = pair_weights[pi, qi]
+    else:
+        weights = None
+
+    loads = np.zeros(torus.num_edges, dtype=np.float64)
+    accumulate_pair_loads(loads, k, d, p, q, order=order, weights=weights)
+    return loads
+
+
+def accumulate_pair_loads(
+    loads: np.ndarray,
+    k: int,
+    d: int,
+    p: np.ndarray,
+    q: np.ndarray,
+    order=None,
+    weights=None,
+    scale: float = 1.0,
+) -> None:
+    """Add the dimension-ordered path loads of explicit pairs into ``loads``.
+
+    The workhorse behind :func:`dimension_order_edge_loads` exposed for
+    callers that work with pair subsets — e.g. incremental updates when a
+    single processor moves (see :func:`odr_edge_loads_swap_delta`).
+
+    Parameters
+    ----------
+    loads:
+        Dense per-edge accumulator, modified in place.
+    k, d:
+        Torus parameters.
+    p, q:
+        ``(n_pairs, d)`` source/destination coordinate arrays.
+    order:
+        Dimension-correction order (default ascending = ODR).
+    weights:
+        Optional ``(n_pairs,)`` per-pair multiplicities.
+    scale:
+        Multiplied into every contribution (``-1.0`` subtracts pairs — the
+        incremental-update primitive).
+    """
+    order = tuple(range(d)) if order is None else tuple(order)
+    p = np.atleast_2d(np.asarray(p, dtype=np.int64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.int64))
+    strides = np.array([k ** (d - 1 - i) for i in range(d)], dtype=np.int64)
+
+    # node id of the walker's position with every coordinate still at p
+    base = p @ strides  # (n_pairs,)
+
+    two_d = 2 * d
+    for dim in order:
+        delta, _tied = minimal_correction_array(p[:, dim], q[:, dim], k)
+        hops = np.abs(delta)
+        sign = np.sign(delta)  # 0 where no correction needed
+        sign_bit = (sign < 0).astype(np.int64)
+        max_hops = int(hops.max(initial=0))
+        # walker's dim coordinate starts at p[:, dim]
+        x = p[:, dim].copy()
+        base_wo_dim = base - p[:, dim] * strides[dim]
+        for step in range(max_hops):
+            active = hops > step
+            if not np.any(active):
+                break
+            node_ids = base_wo_dim[active] + x[active] * strides[dim]
+            edge_ids = node_ids * two_d + 2 * dim + sign_bit[active]
+            if weights is None:
+                np.add.at(loads, edge_ids, scale)
+            else:
+                np.add.at(loads, edge_ids, scale * weights[active])
+            x[active] = np.mod(x[active] + sign[active], k)
+        # dimension fully corrected: walker now sits at q in this dim
+        base = base_wo_dim + q[:, dim] * strides[dim]
+
+
+def odr_edge_loads_swap_delta(
+    torus,
+    loads: np.ndarray,
+    kept_coords: np.ndarray,
+    removed_coord,
+    added_coord,
+) -> np.ndarray:
+    """Incremental ODR loads after swapping one processor for a router.
+
+    Given the complete-exchange ``loads`` of a placement, the coordinates
+    of the *unchanged* processors (``kept_coords``, the placement minus the
+    removed node), and the swap, returns the loads of the new placement in
+    :math:`O(|P|)` pair work instead of :math:`O(|P|^2)` — only the pairs
+    touching the swapped node change:
+
+    * subtract ``removed ↔ kept`` (both directions),
+    * add ``added ↔ kept`` (both directions).
+
+    The input ``loads`` array is not modified.
+    """
+    k, d = torus.k, torus.d
+    kept = np.atleast_2d(np.asarray(kept_coords, dtype=np.int64))
+    removed = np.asarray(removed_coord, dtype=np.int64).reshape(1, d)
+    added = np.asarray(added_coord, dtype=np.int64).reshape(1, d)
+    out = np.array(loads, dtype=np.float64, copy=True)
+    n = kept.shape[0]
+    if n == 0:
+        return out
+    rem_rep = np.repeat(removed, n, axis=0)
+    add_rep = np.repeat(added, n, axis=0)
+    accumulate_pair_loads(out, k, d, rem_rep, kept, scale=-1.0)
+    accumulate_pair_loads(out, k, d, kept, rem_rep, scale=-1.0)
+    accumulate_pair_loads(out, k, d, add_rep, kept, scale=+1.0)
+    accumulate_pair_loads(out, k, d, kept, add_rep, scale=+1.0)
+    return out

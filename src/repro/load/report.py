@@ -1,0 +1,81 @@
+"""Result containers for load analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placements.base import Placement
+from repro.torus.edges import Edge
+
+__all__ = ["LoadReport", "load_report"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Summary statistics of one per-edge load vector.
+
+    Attributes
+    ----------
+    emax:
+        The maximum load :math:`E_{max}` (Definition 5).
+    argmax_edge:
+        A decoded edge achieving the maximum.
+    mean, mean_nonzero:
+        Average load over all / over used edges.
+    total:
+        Sum of all edge loads; for minimal routing this equals the sum of
+        Lee distances over all weighted pairs (conservation law).
+    used_edges:
+        Number of edges with strictly positive load.
+    num_edges:
+        Total directed edges of the torus.
+    placement_size:
+        :math:`|P|`, so ``emax / placement_size`` is the linearity ratio.
+    """
+
+    emax: float
+    argmax_edge: Edge
+    mean: float
+    mean_nonzero: float
+    total: float
+    used_edges: int
+    num_edges: int
+    placement_size: int
+
+    @property
+    def linearity_ratio(self) -> float:
+        """:math:`E_{max}/|P|` — bounded by a constant iff load is linear."""
+        return self.emax / self.placement_size
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        e = self.argmax_edge
+        return (
+            f"E_max={self.emax:.6g} at edge {e.tail}->{e.head} "
+            f"(dim={e.dim}, sign={e.sign:+d}); mean={self.mean:.6g}, "
+            f"used {self.used_edges}/{self.num_edges} edges, "
+            f"E_max/|P|={self.linearity_ratio:.6g}"
+        )
+
+
+def load_report(placement: Placement, loads: np.ndarray) -> LoadReport:
+    """Build a :class:`LoadReport` from a per-edge load vector."""
+    loads = np.asarray(loads, dtype=np.float64)
+    torus = placement.torus
+    if loads.shape != (torus.num_edges,):
+        raise ValueError(
+            f"loads must have shape ({torus.num_edges},), got {loads.shape}"
+        )
+    argmax = int(np.argmax(loads))
+    nonzero = loads[loads > 0]
+    return LoadReport(
+        emax=float(loads[argmax]),
+        argmax_edge=torus.edges.decode(argmax),
+        mean=float(loads.mean()),
+        mean_nonzero=float(nonzero.mean()) if nonzero.size else 0.0,
+        total=float(loads.sum()),
+        used_edges=int(nonzero.size),
+        num_edges=torus.num_edges,
+        placement_size=len(placement),
+    )

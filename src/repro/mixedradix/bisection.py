@@ -1,0 +1,90 @@
+"""Theorem 1's two-cut bisection on mixed-radix tori.
+
+Cutting across dimension ``dim`` at two boundaries removes
+:math:`4\\prod_{i \\ne dim} k_i` directed links (two boundaries × two
+directions × one link per node of the cut cross-section).  For a placement
+uniform along ``dim`` with even :math:`k_{dim}`, antipodal boundaries
+split the processors exactly in half — Theorem 1 verbatim, with
+:math:`k^{d-1}` replaced by the cross-section size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BisectionError, InvalidParameterError
+from repro.mixedradix.placements import MixedPlacement
+from repro.mixedradix.torus import MixedTorus
+
+__all__ = ["MixedDimensionCut", "mixed_dimension_cut"]
+
+
+@dataclass(frozen=True)
+class MixedDimensionCut:
+    """Result of a mixed-radix two-cut bisection."""
+
+    dim: int
+    boundaries: tuple[int, int]
+    cut_size: int
+    processors_a: int
+    processors_b: int
+
+    @property
+    def imbalance(self) -> int:
+        return abs(self.processors_a - self.processors_b)
+
+    @property
+    def is_balanced(self) -> bool:
+        return self.imbalance <= 1
+
+
+def _cross_section(torus: MixedTorus, dim: int) -> int:
+    return torus.num_nodes // torus.shape[dim]
+
+
+def mixed_dimension_cut(
+    placement: MixedPlacement, dim: int | None = None
+) -> MixedDimensionCut:
+    """Most balanced two-boundary cut (searched over boundary pairs).
+
+    ``dim=None`` searches every dimension and returns the most balanced
+    (ties broken toward the smaller cut, i.e. the *largest* radix, whose
+    cross-section is smallest).
+    """
+    torus = placement.torus
+    if dim is None:
+        results = [
+            mixed_dimension_cut(placement, d) for d in range(torus.d)
+        ]
+        return min(results, key=lambda r: (r.imbalance, r.cut_size, r.dim))
+    if not 0 <= dim < torus.d:
+        raise InvalidParameterError(f"dim {dim} outside [0, {torus.d})")
+
+    k = torus.shape[dim]
+    counts = torus.layer_counts(placement.node_ids, dim)
+    total = int(counts.sum())
+    prefix = np.cumsum(counts)
+    best = None
+    for b1 in range(k):
+        for off in range(1, k):
+            b2 = (b1 + off) % k
+            if b2 > b1:
+                inside = int(prefix[b2] - prefix[b1])
+            else:
+                inside = total - int(prefix[b1] - prefix[b2])
+            imbalance = abs(2 * inside - total)
+            key = (imbalance, off != k // 2, b1, off)
+            if best is None or key < best[0]:
+                best = (key, (b1, b2), inside)
+    if best is None:  # pragma: no cover - k >= 2 always yields candidates
+        raise BisectionError("no boundary pair found")
+    (_, boundaries, inside) = best
+    return MixedDimensionCut(
+        dim=dim,
+        boundaries=boundaries,
+        cut_size=4 * _cross_section(torus, dim),
+        processors_a=inside,
+        processors_b=total - inside,
+    )

@@ -1,0 +1,160 @@
+"""Linear placements on mixed-radix tori.
+
+Definition 10 generalizes cleanly: pick a modulus ``m`` dividing **every**
+radix and coefficients coprime to ``m``; then
+
+.. math::
+
+    P = \\{p : c_1 p_1 + … + c_d p_d \\equiv c \\pmod m\\}
+
+has exactly :math:`(\\prod_i k_i)/m` members (each coordinate's
+contribution cycles through the residues mod ``m`` exactly ``k_i/m`` times
+per period, so the congruence keeps a :math:`1/m` fraction of every
+principal subtorus), and the placement is uniform.  With all radii equal
+and ``m = k`` this is exactly the paper's Definition 10.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.mixedradix.torus import MixedTorus
+
+__all__ = ["mixed_linear_placement", "lcm_linear_placement", "MixedPlacement"]
+
+
+class MixedPlacement:
+    """A processor set on a mixed-radix torus (minimal analogue of
+    :class:`repro.placements.base.Placement`)."""
+
+    def __init__(self, torus: MixedTorus, node_ids, name: str = "placement"):
+        self.torus = torus
+        ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+        if ids.size == 0:
+            raise InvalidParameterError("a placement must be non-empty")
+        if ids[0] < 0 or ids[-1] >= torus.num_nodes:
+            raise InvalidParameterError(
+                f"node ids must lie in [0, {torus.num_nodes})"
+            )
+        self.node_ids = ids
+        self.name = str(name)
+
+    def __len__(self) -> int:
+        return int(self.node_ids.size)
+
+    def coords(self) -> np.ndarray:
+        """Coordinates of all processors, shape ``(|P|, d)``."""
+        return self.torus.coords(self.node_ids)
+
+    def is_uniform(self) -> bool:
+        """Equal processors in every principal subtorus, every dimension."""
+        for dim in range(self.torus.d):
+            counts = self.torus.layer_counts(self.node_ids, dim)
+            if not np.all(counts == counts[0]):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"MixedPlacement(name={self.name!r}, shape={self.torus.shape}, "
+            f"size={len(self)})"
+        )
+
+
+def mixed_linear_placement(
+    torus: MixedTorus,
+    modulus: int | None = None,
+    coefficients=None,
+    offset: int = 0,
+) -> MixedPlacement:
+    """Build ``{p : Σ cᵢpᵢ ≡ offset (mod m)}`` on a mixed-radix torus.
+
+    Parameters
+    ----------
+    torus:
+        The host :class:`MixedTorus`.
+    modulus:
+        ``m``; must divide every radix.  Default: ``gcd(shape)`` — the
+        largest always-legal choice (requires gcd ≥ 2 to thin the torus).
+    coefficients:
+        Length-``d`` ints, each coprime to ``m`` (default all ones).
+    offset:
+        The congruence class.
+
+    Returns
+    -------
+    MixedPlacement
+        Size exactly :math:`(\\prod k_i)/m`, uniform.
+    """
+    if modulus is None:
+        modulus = math.gcd(*torus.shape)
+    modulus = int(modulus)
+    if modulus < 2:
+        raise InvalidParameterError(
+            f"modulus must be >= 2 (gcd of shape {torus.shape} is too small "
+            "to thin the torus); pass radii with a common factor"
+        )
+    for k in torus.shape:
+        if k % modulus != 0:
+            raise InvalidParameterError(
+                f"modulus {modulus} must divide every radix; shape {torus.shape}"
+            )
+    if coefficients is None:
+        coeffs = np.ones(torus.d, dtype=np.int64)
+    else:
+        coeffs = np.asarray(coefficients, dtype=np.int64)
+        if coeffs.shape != (torus.d,):
+            raise InvalidParameterError(
+                f"need {torus.d} coefficients, got shape {coeffs.shape}"
+            )
+    for c in coeffs:
+        if math.gcd(int(c), modulus) != 1:
+            raise InvalidParameterError(
+                f"coefficient {int(c)} is not coprime to modulus {modulus}"
+            )
+    coords = torus.all_coords()
+    member = np.mod(coords @ coeffs, modulus) == int(offset) % modulus
+    ids = np.nonzero(member)[0]
+    return MixedPlacement(
+        torus, ids, name=f"mixed-linear(m={modulus}, c={int(offset) % modulus})"
+    )
+
+
+def lcm_linear_placement(torus: MixedTorus, offset: int = 0) -> MixedPlacement:
+    """The load-optimal mixed-radix linear placement (lcm construction).
+
+    .. math::
+
+        P = \\Big\\{p : \\sum_i \\tfrac{L}{k_i}\\,p_i \\equiv c \\pmod L\\Big\\},
+        \\qquad L = \\mathrm{lcm}(k_1, …, k_d).
+
+    Each coefficient :math:`L/k_i` stretches dimension ``i``'s residues
+    onto a common period ``L``, and the coefficient gcd is 1, so the sum
+    covers every class of :math:`\\mathbb{Z}_L` equally: size exactly
+    :math:`(\\prod_i k_i)/L`.
+
+    Why this (and not the gcd modulus) is the right generalization of the
+    paper's linear placement: the thinnest two-cut bisection of
+    :math:`T_{k_1×…×k_d}` has only :math:`4\\prod_i k_i / k_{max}` edges,
+    so Eq. 9's argument caps a linear-load placement at
+    :math:`O(\\prod k_i / k_{max})` processors — and
+    :math:`(\\prod k_i)/L \\le (\\prod k_i)/k_{max}`.  EXP-23 measures
+    :math:`E_{max}/|P| = 1/2` **flat** for this construction in both the
+    proportional-growth and divergent-radius regimes, while the gcd-modulus
+    placement (size :math:`\\prod k_i/\\gcd`) goes superlinear as radii
+    diverge.
+
+    When all radii equal ``k``, ``L = k`` and this is exactly the paper's
+    all-ones linear placement.
+    """
+    L = math.lcm(*torus.shape)
+    coeffs = np.array([L // k for k in torus.shape], dtype=np.int64)
+    coords = torus.all_coords()
+    member = np.mod(coords @ coeffs, L) == int(offset) % L
+    ids = np.nonzero(member)[0]
+    return MixedPlacement(
+        torus, ids, name=f"lcm-linear(L={L}, c={int(offset) % L})"
+    )

@@ -1,0 +1,145 @@
+"""The mixed-radix torus :math:`T_{k_1 × k_2 × … × k_d}`.
+
+Same modelling conventions as :class:`repro.torus.Torus` — C-order dense
+node ids, directed edge ids ``node·2d + 2·dim + sign_bit`` — but with an
+independent ring size per dimension.  Everything the load engine needs
+(coordinate conversion, per-dimension minimal corrections, Lee distance)
+is provided here; the uniform-radix classes remain the primary API and are
+unchanged.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["MixedTorus"]
+
+
+class MixedTorus:
+    """A d-dimensional torus with per-dimension radii ``shape``.
+
+    Parameters
+    ----------
+    shape:
+        Tuple of ring sizes ``(k_1, …, k_d)``, each ``>= 2``.
+
+    Examples
+    --------
+    >>> t = MixedTorus((4, 6))
+    >>> t.num_nodes, t.num_edges
+    (24, 96)
+    """
+
+    def __init__(self, shape):
+        shape = tuple(int(k) for k in shape)
+        if len(shape) < 1:
+            raise InvalidParameterError("shape must have at least 1 dimension")
+        for k in shape:
+            if k < 2:
+                raise InvalidParameterError(
+                    f"every radix must be >= 2, got shape {shape}"
+                )
+        self.shape = shape
+        self.d = len(shape)
+
+    # --------------------------------------------------------------- sizes
+
+    @property
+    def num_nodes(self) -> int:
+        """:math:`\\prod_i k_i`."""
+        return int(np.prod(self.shape))
+
+    @property
+    def num_edges(self) -> int:
+        """:math:`2d\\prod_i k_i` directed links."""
+        return 2 * self.d * self.num_nodes
+
+    @cached_property
+    def strides(self) -> np.ndarray:
+        """C-order ravel strides per dimension."""
+        s = np.ones(self.d, dtype=np.int64)
+        for i in range(self.d - 2, -1, -1):
+            s[i] = s[i + 1] * self.shape[i + 1]
+        return s
+
+    @cached_property
+    def radii(self) -> np.ndarray:
+        """The shape as an int64 array (broadcasting convenience)."""
+        return np.array(self.shape, dtype=np.int64)
+
+    # --------------------------------------------------------- coordinates
+
+    def node_ids(self, coords) -> np.ndarray:
+        """C-order dense ids for ``(n, d)`` coordinates (reduced mod shape)."""
+        arr = np.atleast_2d(np.asarray(coords, dtype=np.int64))
+        if arr.shape[1] != self.d:
+            raise InvalidParameterError(
+                f"coordinates must have {self.d} columns, got {arr.shape}"
+            )
+        arr = np.mod(arr, self.radii)
+        return arr @ self.strides
+
+    def coords(self, node_ids) -> np.ndarray:
+        """Inverse of :meth:`node_ids` — ``(n, d)`` coordinate rows."""
+        ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_nodes):
+            raise InvalidParameterError(
+                f"node ids must lie in [0, {self.num_nodes})"
+            )
+        out = np.empty((ids.size, self.d), dtype=np.int64)
+        rem = ids.copy()
+        for i in range(self.d):
+            out[:, i], rem = np.divmod(rem, self.strides[i])
+        return out
+
+    def all_coords(self) -> np.ndarray:
+        """Coordinates of every node, row ``i`` = node id ``i``."""
+        return self.coords(np.arange(self.num_nodes, dtype=np.int64))
+
+    # ------------------------------------------------------------ distance
+
+    def minimal_corrections(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Per-dimension signed minimal corrections (``+`` on half-ring ties).
+
+        ``p``, ``q``: ``(n, d)`` coordinate arrays; returns ``(n, d)``.
+        """
+        p = np.atleast_2d(np.asarray(p, dtype=np.int64))
+        q = np.atleast_2d(np.asarray(q, dtype=np.int64))
+        out = np.empty_like(p)
+        for i, k in enumerate(self.shape):
+            fwd = np.mod(q[:, i] - p[:, i], k)
+            bwd = np.mod(p[:, i] - q[:, i], k)
+            out[:, i] = np.where(fwd <= bwd, fwd, -bwd)
+        return out
+
+    def lee_distance(self, p, q) -> int:
+        """Shortest-path distance (sum of per-dimension cyclic distances)."""
+        delta = self.minimal_corrections(
+            np.asarray(p).reshape(1, -1), np.asarray(q).reshape(1, -1)
+        )
+        return int(np.abs(delta).sum())
+
+    # ---------------------------------------------------------------- misc
+
+    def layer_counts(self, node_ids, dim: int) -> np.ndarray:
+        """Histogram of nodes over the ``k_dim`` layers along ``dim``."""
+        if not 0 <= dim < self.d:
+            raise InvalidParameterError(f"dim {dim} outside [0, {self.d})")
+        coords = self.coords(node_ids)
+        return np.bincount(
+            coords[:, dim], minlength=self.shape[dim]
+        ).astype(np.int64)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MixedTorus) and other.shape == self.shape
+
+    def __hash__(self) -> int:
+        return hash(("MixedTorus", self.shape))
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(k) for k in self.shape)
+        return f"MixedTorus({dims})"

@@ -1,0 +1,91 @@
+"""Structural analysis of placements: uniformity and summary statistics.
+
+The paper calls a placement *uniform* when each principal subtorus of
+:math:`T_k^d` contains the same number of processors (Sec. 2).  Since there
+are ``k`` principal subtori along each of the ``d`` dimensions, uniformity
+means ``d`` flat histograms.  Linear placements with all coefficients
+coprime to ``k`` put exactly :math:`k^{d-2}` processors in every principal
+subtorus (Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placements.base import Placement
+from repro.torus.subtorus import subtorus_layer_counts
+
+__all__ = [
+    "layer_counts",
+    "is_uniform",
+    "uniform_dimensions",
+    "placement_summary",
+    "PlacementSummary",
+]
+
+
+def layer_counts(placement: Placement, dim: int) -> np.ndarray:
+    """Processors per principal subtorus along ``dim`` (length-``k`` array)."""
+    return subtorus_layer_counts(placement.torus, placement.node_ids, dim)
+
+
+def uniform_dimensions(placement: Placement) -> list[int]:
+    """The dimensions along which the placement is uniform."""
+    return [
+        dim
+        for dim in range(placement.torus.d)
+        if np.all(layer_counts(placement, dim) == layer_counts(placement, dim)[0])
+    ]
+
+
+def is_uniform(placement: Placement) -> bool:
+    """Paper's uniformity: equal processors in *every* principal subtorus."""
+    return len(uniform_dimensions(placement)) == placement.torus.d
+
+
+@dataclass(frozen=True)
+class PlacementSummary:
+    """Structural facts about a placement, for reports and experiment rows."""
+
+    name: str
+    k: int
+    d: int
+    size: int
+    density: float
+    uniform: bool
+    uniform_dims: tuple[int, ...]
+    min_layer_count: int
+    max_layer_count: int
+
+    def as_row(self) -> list:
+        """Row form for :class:`repro.util.tables.Table`."""
+        return [
+            self.name,
+            self.k,
+            self.d,
+            self.size,
+            self.density,
+            self.uniform,
+        ]
+
+
+def placement_summary(placement: Placement) -> PlacementSummary:
+    """Compute a :class:`PlacementSummary` for ``placement``."""
+    torus = placement.torus
+    all_counts = np.concatenate(
+        [layer_counts(placement, dim) for dim in range(torus.d)]
+    )
+    udims = tuple(uniform_dimensions(placement))
+    return PlacementSummary(
+        name=placement.name,
+        k=torus.k,
+        d=torus.d,
+        size=len(placement),
+        density=len(placement) / torus.num_nodes,
+        uniform=len(udims) == torus.d,
+        uniform_dims=udims,
+        min_layer_count=int(all_counts.min()),
+        max_layer_count=int(all_counts.max()),
+    )

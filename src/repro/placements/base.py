@@ -1,0 +1,155 @@
+"""Placement container and the parameterized-family protocol.
+
+The paper stresses that a placement is really a *description* — an
+algorithm producing :math:`P_{d,k}` for the whole class of tori (Sec. 1).
+We model that split explicitly:
+
+* :class:`Placement` is one concrete processor set on one concrete torus;
+* :class:`PlacementFamily` is the description: ``build(k, d)`` materializes
+  the member for given parameters, and ``expected_size(k, d)`` states the
+  family's size law (e.g. :math:`k^{d-1}` for linear placements), which the
+  experiments check against reality.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.torus.topology import Torus
+
+__all__ = ["Placement", "PlacementFamily"]
+
+
+class Placement:
+    """A concrete set of processor nodes on a concrete torus.
+
+    Parameters
+    ----------
+    torus:
+        The host :class:`~repro.torus.Torus`.
+    node_ids:
+        Iterable of dense node ids; duplicates are removed and the result
+        is stored sorted.
+    name:
+        Human-readable label used by reports and experiment tables.
+
+    Raises
+    ------
+    PlacementError
+        If any node id is out of range or the placement is empty.
+    """
+
+    def __init__(self, torus: Torus, node_ids, name: str = "placement"):
+        self.torus = torus
+        ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+        if ids.size == 0:
+            raise PlacementError("a placement must contain at least one node")
+        if ids[0] < 0 or ids[-1] >= torus.num_nodes:
+            raise PlacementError(
+                f"node ids must lie in [0, {torus.num_nodes}); got range "
+                f"[{ids[0]}, {ids[-1]}]"
+            )
+        self.node_ids: np.ndarray = ids
+        self.name = str(name)
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return int(self.node_ids.size)
+
+    @property
+    def size(self) -> int:
+        """Number of processors, :math:`|P|`."""
+        return len(self)
+
+    def coords(self) -> np.ndarray:
+        """Coordinates of all processors, shape ``(|P|, d)``, sorted by id."""
+        return self.torus.coords(self.node_ids)
+
+    def contains(self, node_id: int) -> bool:
+        """Whether the node hosts a processor."""
+        idx = np.searchsorted(self.node_ids, node_id)
+        return bool(idx < self.node_ids.size and self.node_ids[idx] == node_id)
+
+    def contains_coord(self, coord) -> bool:
+        """Whether the node at ``coord`` hosts a processor."""
+        return self.contains(self.torus.node_id(coord))
+
+    def mask(self) -> np.ndarray:
+        """Boolean membership mask over all torus nodes, shape ``(k^d,)``."""
+        m = np.zeros(self.torus.num_nodes, dtype=bool)
+        m[self.node_ids] = True
+        return m
+
+    def ordered_pairs_count(self) -> int:
+        """Number of ordered processor pairs, :math:`|P|(|P|-1)`."""
+        return len(self) * (len(self) - 1)
+
+    def complement(self, name: str | None = None) -> "Placement":
+        """The placement of all *router-only* nodes (useful in tests)."""
+        all_ids = np.arange(self.torus.num_nodes, dtype=np.int64)
+        rest = np.setdiff1d(all_ids, self.node_ids, assume_unique=True)
+        return Placement(self.torus, rest, name or f"~{self.name}")
+
+    def restrict(self, keep_mask, name: str | None = None) -> "Placement":
+        """Sub-placement selected by a boolean mask over ``self.node_ids``."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != self.node_ids.shape:
+            raise PlacementError(
+                f"mask shape {keep_mask.shape} != node_ids shape "
+                f"{self.node_ids.shape}"
+            )
+        return Placement(
+            self.torus, self.node_ids[keep_mask], name or f"{self.name}|restricted"
+        )
+
+    # ------------------------------------------------------------ equality
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Placement)
+            and other.torus == self.torus
+            and np.array_equal(other.node_ids, self.node_ids)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.torus, self.node_ids.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Placement(name={self.name!r}, k={self.torus.k}, d={self.torus.d}, "
+            f"size={len(self)})"
+        )
+
+
+class PlacementFamily(abc.ABC):
+    """A placement *description*: an algorithm producing ``P_{d,k}``.
+
+    Subclasses implement :meth:`build` and :meth:`expected_size`; the
+    experiment harness sweeps ``(k, d)`` through the family.
+    """
+
+    #: short machine name used by the registry and experiment tables.
+    name: str = "family"
+
+    @abc.abstractmethod
+    def build(self, k: int, d: int) -> Placement:
+        """Materialize the family member for torus parameters ``(k, d)``."""
+
+    @abc.abstractmethod
+    def expected_size(self, k: int, d: int) -> int:
+        """The family's size law — what :math:`|P_{d,k}|` should be."""
+
+    def is_uniform_by_construction(self) -> bool:
+        """Whether every member is guaranteed uniform (paper's Def. in Sec. 2).
+
+        Families override this when they can promise uniformity; the default
+        is conservative.
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,48 @@
+"""Shifted-diagonal placements — the Blaum et al. constructions.
+
+Blaum, Bruck, Pifarré, and Sanz ("On Optimal Placements of Processors in
+Tori Networks", SPDP 1996) proposed placements of size :math:`k` on
+:math:`T_k^2` and :math:`k^2` on :math:`T_k^3` built from (shifted)
+diagonals.  Section 5 of our paper observes these are special cases of
+linear placements; this module provides them under their historical names
+so the experiments can reference both framings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.torus.coords import coords_to_ids
+from repro.torus.topology import Torus
+
+__all__ = ["shifted_diagonal_placement", "antidiagonal_placement_2d"]
+
+
+def shifted_diagonal_placement(torus: Torus, shift: int = 0) -> Placement:
+    """The shifted diagonal: the all-ones linear placement with offset ``shift``.
+
+    On :math:`T_k^2` this is the set ``{(i, (shift - i) mod k)}`` of size
+    ``k``; on :math:`T_k^3` it is Blaum et al.'s :math:`k^2`-processor
+    shifted-diagonal placement.
+    """
+    return linear_placement(
+        torus, offset=shift, name=f"shifted-diagonal(shift={shift % torus.k})"
+    )
+
+
+def antidiagonal_placement_2d(torus: Torus, shift: int = 0) -> Placement:
+    """The 2-D *anti*-diagonal ``{(i, (i + shift) mod k)}``.
+
+    This is the linear placement with coefficient vector ``(1, −1)`` and
+    offset ``−shift`` — a coefficient choice other than all-ones, exercising
+    the general form of Definition 10 (both coefficients are coprime to
+    ``k``, so the placement is still uniform).
+    """
+    if torus.d != 2:
+        raise ValueError(f"antidiagonal placement is 2-D only; torus has d={torus.d}")
+    i = np.arange(torus.k, dtype=np.int64)
+    coords = np.stack([i, np.mod(i + shift, torus.k)], axis=1)
+    ids = coords_to_ids(coords, torus.k, torus.d)
+    return Placement(torus, ids, name=f"antidiagonal(shift={shift % torus.k})")

@@ -1,0 +1,80 @@
+"""Baseline and counterexample placements.
+
+* :func:`fully_populated_placement` — every node hosts a processor.  This
+  is the Section 1 motivation: under complete exchange some edge carries
+  :math:`> k^{d+1}/8` messages, i.e. superlinear load.
+* :func:`block_placement` — a contiguous sub-block (non-uniform): shows
+  what linear placements avoid and exercises the general (non-uniform)
+  bisection machinery.
+* :func:`single_subtorus_placement` — all processors in one principal
+  subtorus: the extreme of non-uniformity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.placements.base import Placement, PlacementFamily
+from repro.torus.coords import coords_to_ids
+from repro.torus.subtorus import principal_subtorus_nodes
+from repro.torus.topology import Torus
+
+__all__ = [
+    "fully_populated_placement",
+    "block_placement",
+    "single_subtorus_placement",
+    "FullyPopulatedFamily",
+]
+
+
+def fully_populated_placement(torus: Torus) -> Placement:
+    """All :math:`k^d` nodes — the classical fully populated torus."""
+    return Placement(
+        torus, np.arange(torus.num_nodes, dtype=np.int64), name="fully-populated"
+    )
+
+
+def block_placement(torus: Torus, side: int, name: str | None = None) -> Placement:
+    """The contiguous block ``{0, …, side-1}^d`` of :math:`side^d` processors.
+
+    Deliberately *non*-uniform for ``side < k`` — a contrast case for the
+    uniformity-based results (Theorem 1 does not apply to it).
+    """
+    if not 1 <= side <= torus.k:
+        raise InvalidParameterError(
+            f"block side must satisfy 1 <= side <= k={torus.k}, got {side}"
+        )
+    ranges = [np.arange(side, dtype=np.int64)] * torus.d
+    grids = np.meshgrid(*ranges, indexing="ij")
+    coords = np.stack([g.ravel() for g in grids], axis=1)
+    ids = coords_to_ids(coords, torus.k, torus.d)
+    return Placement(torus, ids, name=name or f"block(side={side})")
+
+
+def single_subtorus_placement(
+    torus: Torus, dim: int = 0, value: int = 0
+) -> Placement:
+    """All :math:`k^{d-1}` nodes of one principal subtorus.
+
+    Same *size* as a linear placement but maximally non-uniform along
+    ``dim`` — the canonical counterexample showing size alone does not
+    buy linear load.
+    """
+    ids = principal_subtorus_nodes(torus, dim, value)
+    return Placement(torus, ids, name=f"subtorus(dim={dim}, value={value})")
+
+
+class FullyPopulatedFamily(PlacementFamily):
+    """The family of fully populated tori (size law :math:`k^d`)."""
+
+    name = "fully-populated"
+
+    def build(self, k: int, d: int) -> Placement:
+        return fully_populated_placement(Torus(k, d))
+
+    def expected_size(self, k: int, d: int) -> int:
+        return k**d
+
+    def is_uniform_by_construction(self) -> bool:
+        return True

@@ -1,0 +1,70 @@
+"""Random placements — stochastic baselines for the experiments.
+
+Two flavours:
+
+* :func:`random_placement` — a uniformly random node subset of a given
+  size (in general *not* uniform in the paper's per-subtorus sense);
+* :func:`random_uniform_placement` — a random placement that *is* uniform
+  along one chosen dimension: each of the ``k`` principal subtori along
+  that dimension receives the same number of processors at random
+  positions.  This realizes the paper's remark after Theorem 1 that
+  uniformity along a *single* dimension already suffices for the
+  :math:`4k^{d-1}` bisection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.placements.base import Placement
+from repro.torus.subtorus import principal_subtorus_nodes
+from repro.torus.topology import Torus
+from repro.util.rng import resolve_rng
+
+__all__ = ["random_placement", "random_uniform_placement"]
+
+
+def random_placement(
+    torus: Torus, size: int, seed=None, name: str | None = None
+) -> Placement:
+    """A uniformly random subset of ``size`` torus nodes."""
+    if not 1 <= size <= torus.num_nodes:
+        raise InvalidParameterError(
+            f"size must satisfy 1 <= size <= {torus.num_nodes}, got {size}"
+        )
+    rng = resolve_rng(seed)
+    ids = rng.choice(torus.num_nodes, size=size, replace=False)
+    return Placement(torus, ids, name=name or f"random(size={size})")
+
+
+def random_uniform_placement(
+    torus: Torus,
+    per_layer: int,
+    dim: int = 0,
+    seed=None,
+    name: str | None = None,
+) -> Placement:
+    """A random placement uniform along ``dim``: ``per_layer`` processors in
+    each of the ``k`` principal subtori along that dimension.
+
+    Total size is ``per_layer * k``.
+    """
+    if not 0 <= dim < torus.d:
+        raise InvalidParameterError(f"dim {dim} outside [0, {torus.d})")
+    layer_size = torus.k ** (torus.d - 1)
+    if not 1 <= per_layer <= layer_size:
+        raise InvalidParameterError(
+            f"per_layer must satisfy 1 <= per_layer <= {layer_size}, got {per_layer}"
+        )
+    rng = resolve_rng(seed)
+    chunks = []
+    for value in range(torus.k):
+        layer = principal_subtorus_nodes(torus, dim, value)
+        chunks.append(rng.choice(layer, size=per_layer, replace=False))
+    ids = np.concatenate(chunks)
+    return Placement(
+        torus,
+        ids,
+        name=name or f"random-uniform(per_layer={per_layer}, dim={dim})",
+    )

@@ -1,0 +1,143 @@
+"""Torus automorphisms and their action on placements.
+
+:math:`T_k^d` has a rich automorphism group: coordinate **translations**
+(:math:`\\mathbb{Z}_k^d`), coordinate **permutations** (:math:`S_d`), and
+per-coordinate **reflections** (:math:`x_i \\mapsto -x_i`).  Every
+automorphism preserves Lee distance, hence maps minimal paths to minimal
+paths — so the complete-exchange load profile of a placement is invariant
+under all of them (the structural fact behind EXP-14's measurements: all
+linear-placement offsets are translates of each other, and coefficient
+negations are reflections).
+
+This module implements the group action and an exact isomorphism test for
+small tori (canonical form under the full group, or the translation
+subgroup only).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.placements.base import Placement
+from repro.torus.coords import coords_to_ids
+from repro.torus.topology import Torus
+
+__all__ = [
+    "translate_placement",
+    "permute_dimensions",
+    "reflect_dimensions",
+    "canonical_form",
+    "are_equivalent_placements",
+]
+
+
+def translate_placement(placement: Placement, offset) -> Placement:
+    """The placement shifted by ``offset`` (a length-``d`` vector, mod k)."""
+    torus = placement.torus
+    offset = np.asarray(offset, dtype=np.int64)
+    if offset.shape != (torus.d,):
+        raise InvalidParameterError(
+            f"offset must have shape ({torus.d},), got {offset.shape}"
+        )
+    coords = np.mod(placement.coords() + offset, torus.k)
+    return Placement(
+        torus,
+        coords_to_ids(coords, torus.k, torus.d),
+        name=f"{placement.name}+{offset.tolist()}",
+    )
+
+
+def permute_dimensions(placement: Placement, perm) -> Placement:
+    """The placement with coordinates reordered by permutation ``perm``.
+
+    ``perm[i]`` is the source dimension feeding new dimension ``i``.
+    """
+    torus = placement.torus
+    perm = tuple(int(i) for i in perm)
+    if sorted(perm) != list(range(torus.d)):
+        raise InvalidParameterError(
+            f"perm must be a permutation of range({torus.d}), got {perm}"
+        )
+    coords = placement.coords()[:, perm]
+    return Placement(
+        torus,
+        coords_to_ids(coords, torus.k, torus.d),
+        name=f"{placement.name}|perm{perm}",
+    )
+
+
+def reflect_dimensions(placement: Placement, dims) -> Placement:
+    """The placement with coordinates negated (mod k) in the given dims."""
+    torus = placement.torus
+    coords = placement.coords().copy()
+    for dim in dims:
+        if not 0 <= dim < torus.d:
+            raise InvalidParameterError(f"dim {dim} outside [0, {torus.d})")
+        coords[:, dim] = np.mod(-coords[:, dim], torus.k)
+    return Placement(
+        torus,
+        coords_to_ids(coords, torus.k, torus.d),
+        name=f"{placement.name}|reflect{sorted(dims)}",
+    )
+
+
+def _id_key(placement: Placement) -> bytes:
+    return placement.node_ids.tobytes()
+
+
+def canonical_form(
+    placement: Placement, translations_only: bool = False
+) -> Placement:
+    """The lexicographically smallest image under the automorphism group.
+
+    ``translations_only=True`` restricts to the :math:`k^d` translations —
+    enough for comparing linear-placement offsets and much cheaper.  The
+    full group enumerates :math:`k^d \\cdot d! \\cdot 2^d` images; use only
+    on small tori.
+    """
+    torus = placement.torus
+    best = placement
+    best_key = _id_key(placement)
+
+    if translations_only:
+        transforms = (
+            translate_placement(placement, offset)
+            for offset in itertools.product(range(torus.k), repeat=torus.d)
+        )
+    else:
+        def _all_images():
+            for perm in itertools.permutations(range(torus.d)):
+                permuted = permute_dimensions(placement, perm)
+                for refl_mask in range(1 << torus.d):
+                    dims = [i for i in range(torus.d) if refl_mask >> i & 1]
+                    reflected = reflect_dimensions(permuted, dims)
+                    for offset in itertools.product(
+                        range(torus.k), repeat=torus.d
+                    ):
+                        yield translate_placement(reflected, offset)
+
+        transforms = _all_images()
+
+    for image in transforms:
+        key = _id_key(image)
+        if key < best_key:
+            best, best_key = image, key
+    return Placement(torus, best.node_ids, name=f"canon({placement.name})")
+
+
+def are_equivalent_placements(
+    a: Placement, b: Placement, translations_only: bool = False
+) -> bool:
+    """Whether some torus automorphism maps ``a`` onto ``b``.
+
+    Load profiles (and therefore :math:`E_{max}` under any
+    automorphism-covariant routing family) agree for equivalent placements.
+    """
+    if a.torus != b.torus or len(a) != len(b):
+        return False
+    return _id_key(canonical_form(a, translations_only)) == _id_key(
+        canonical_form(b, translations_only)
+    )

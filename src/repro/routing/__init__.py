@@ -1,0 +1,41 @@
+"""Routing algorithms on the partially populated torus (Definition 3).
+
+A routing algorithm ``A`` assigns to every ordered processor pair
+``(p, q)`` a non-empty set :math:`C^A_{p→q}` of *shortest* paths; a message
+from ``p`` to ``q`` picks one uniformly at random.  Implemented algorithms:
+
+* :class:`~repro.routing.odr.OrderedDimensionalRouting` — Section 6's ODR
+  with the canonical ``+`` tie-break: exactly one path per pair.
+* :class:`~repro.routing.udr.UnorderedDimensionalRouting` — Section 7's
+  UDR: dimensions corrected in every possible order, :math:`s!` paths for
+  pairs differing in ``s`` dimensions (fault tolerance).
+* :class:`~repro.routing.dimension_order.DimensionOrderRouting` — ODR
+  generalized to an arbitrary fixed dimension permutation.
+* :class:`~repro.routing.minimal.AllMinimalPaths` — the full shortest-path
+  relation (every minimal path), used by Fig. 1 and as a test oracle.
+* :class:`~repro.routing.faults.FaultMaskedRouting` — wraps any algorithm
+  and removes paths crossing failed links.
+"""
+
+from repro.routing.base import Path, RoutingAlgorithm
+from repro.routing.cyclic import corrections, signed_moves
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.odr_unrestricted import UnrestrictedODR
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.minimal import AllMinimalPaths, count_minimal_paths
+from repro.routing.faults import FaultMaskedRouting
+
+__all__ = [
+    "Path",
+    "RoutingAlgorithm",
+    "corrections",
+    "signed_moves",
+    "OrderedDimensionalRouting",
+    "UnrestrictedODR",
+    "UnorderedDimensionalRouting",
+    "DimensionOrderRouting",
+    "AllMinimalPaths",
+    "count_minimal_paths",
+    "FaultMaskedRouting",
+]

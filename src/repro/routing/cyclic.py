@@ -1,0 +1,52 @@
+"""Per-dimension minimal corrections — the shared core of all dimension-
+ordered routing algorithms.
+
+To travel from ``p`` to ``q``, each coordinate is "corrected" by the signed
+cyclic offset of minimal absolute value (Sec. 5 of the paper).  On the
+half-ring tie (``k`` even, offset exactly ``k/2``) the canonical policy is
+to travel in the ``+`` direction — the paper's *restricted* ODR; callers
+that want both tied directions (the full minimal-path relation) ask for
+them explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.modular import TIE_BOTH, TIE_PLUS, minimal_correction
+
+__all__ = ["corrections", "correction_options", "signed_moves"]
+
+
+def corrections(p_coord, q_coord, k: int) -> list[int]:
+    """Canonical signed corrections per dimension (ties resolved to ``+``).
+
+    Returns a list ``delta`` with ``delta[i]`` the signed hop count in
+    dimension ``i``; ``sum(abs(delta))`` equals the Lee distance.
+    """
+    return [
+        minimal_correction(int(pi), int(qi), k, tie=TIE_PLUS)[0]
+        for pi, qi in zip(p_coord, q_coord)
+    ]
+
+
+def correction_options(p_coord, q_coord, k: int) -> list[tuple[int, ...]]:
+    """All minimal signed corrections per dimension.
+
+    Each entry is a tuple of the minimal-length signed deltas for that
+    dimension: ``(delta,)`` normally, ``(+k/2, -k/2)`` on the half-ring
+    tie, and ``(0,)`` when the coordinates agree.
+    """
+    out: list[tuple[int, ...]] = []
+    for pi, qi in zip(p_coord, q_coord):
+        delta, tied = minimal_correction(int(pi), int(qi), k, tie=TIE_BOTH)
+        out.append((delta, -delta) if tied else (delta,))
+    return out
+
+
+def signed_moves(dim: int, delta: int) -> list[tuple[int, int]]:
+    """Expand one dimension's signed correction into unit ``(dim, sign)`` moves."""
+    if delta == 0:
+        return []
+    sign = 1 if delta > 0 else -1
+    return [(dim, sign)] * abs(delta)

@@ -1,0 +1,80 @@
+"""The full minimal-path relation and its counting formula.
+
+:class:`AllMinimalPaths` returns *every* shortest path between two nodes:
+all interleavings of the per-dimension unit moves, for every choice of
+direction in half-ring-tied dimensions.  The count is
+
+.. math::
+
+    |C_{p→q}| = 2^{\\#ties} \\cdot \\binom{L}{|δ_1|, |δ_2|, …, |δ_d|}
+
+with :math:`L` the Lee distance — exponential in general, so this class is
+an *oracle* for tests, for Fig. 1 (where the paper highlights all specified
+shortest paths between three processors on :math:`T_3^2`), and for
+maximum-fault-tolerance routing on small tori.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.routing.base import Path, RoutingAlgorithm, walk_moves
+from repro.routing.cyclic import correction_options
+from repro.torus.topology import Torus
+
+__all__ = ["AllMinimalPaths", "count_minimal_paths"]
+
+
+def count_minimal_paths(torus: Torus, p_coord, q_coord) -> int:
+    """Number of minimal paths between two nodes (closed form above)."""
+    options = correction_options(p_coord, q_coord, torus.k)
+    hops = [abs(opt[0]) for opt in options]
+    total = sum(hops)
+    count = math.factorial(total)
+    for h in hops:
+        count //= math.factorial(h)
+    ties = sum(1 for opt in options if len(opt) == 2)
+    return count * (2**ties)
+
+
+def _interleavings(hops_by_dim: dict[int, int]):
+    """Yield all distinct orderings of the multiset of per-dimension moves.
+
+    Recursive multiset-permutation generation: at each step extend by any
+    dimension that still has remaining hops.  Yields tuples of dims.
+    """
+    if not hops_by_dim:
+        yield ()
+        return
+    for dim in sorted(hops_by_dim):
+        rest = dict(hops_by_dim)
+        if rest[dim] == 1:
+            del rest[dim]
+        else:
+            rest[dim] -= 1
+        for tail in _interleavings(rest):
+            yield (dim,) + tail
+
+
+class AllMinimalPaths(RoutingAlgorithm):
+    """Every shortest path between every pair — maximal path multiplicity."""
+
+    name = "ALL-MIN"
+
+    def paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
+        options = correction_options(p_coord, q_coord, torus.k)
+        out: list[Path] = []
+        # one pass per combination of tied-direction choices
+        for combo in itertools.product(*options):
+            hops_by_dim = {
+                dim: abs(delta) for dim, delta in enumerate(combo) if delta != 0
+            }
+            signs = {dim: (1 if delta > 0 else -1) for dim, delta in enumerate(combo)}
+            for order in _interleavings(hops_by_dim):
+                moves = [(dim, signs[dim]) for dim in order]
+                out.append(walk_moves(torus, p_coord, moves))
+        return out
+
+    def num_paths(self, torus: Torus, p_coord, q_coord) -> int:
+        return count_minimal_paths(torus, p_coord, q_coord)

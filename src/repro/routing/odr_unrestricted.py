@@ -1,0 +1,50 @@
+"""Unrestricted ODR — the multi-path variant the paper mentions in §6.
+
+"Note that if k is odd, |C_{p→q}^{ODR}| = 1 … However, when k is even,
+the ODR algorithm may result in multiple paths between some pairs": when a
+coordinate pair is exactly half a ring apart, both directions are minimal.
+The paper *restricts* ODR to the ``+`` direction for its analysis; this
+class implements the unrestricted version — dimension order is still
+ascending, but every half-ring tie branches into both directions, giving
+:math:`2^{\\#ties}` paths per pair.
+
+Comparing the two (EXP-21) quantifies what the restriction costs: on
+*linear placements* the restricted version concentrates all tie traffic on
+the ``+`` links and splitting it strictly lowers :math:`E_{max}`.  The
+dominance is **not** universal — property testing found asymmetric
+placements where the ``−`` links the freed tie traffic lands on are
+already loaded, so the unrestricted maximum rises; only total traffic is
+always conserved.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.routing.base import Path, RoutingAlgorithm, walk_moves
+from repro.routing.cyclic import correction_options, signed_moves
+from repro.torus.topology import Torus
+
+__all__ = ["UnrestrictedODR"]
+
+
+class UnrestrictedODR(RoutingAlgorithm):
+    """Ascending-dimension-order routing with both tie directions allowed."""
+
+    name = "ODR-unrestricted"
+
+    def paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
+        options = correction_options(p_coord, q_coord, torus.k)
+        out: list[Path] = []
+        for combo in itertools.product(*options):
+            moves = []
+            for dim, delta in enumerate(combo):
+                moves.extend(signed_moves(dim, delta))
+            out.append(walk_moves(torus, p_coord, moves))
+        return out
+
+    def num_paths(self, torus: Torus, p_coord, q_coord) -> int:
+        """Closed form: :math:`2^{\\#ties}` (1 for odd ``k``)."""
+        options = correction_options(p_coord, q_coord, torus.k)
+        ties = sum(1 for opt in options if len(opt) == 2)
+        return 2**ties

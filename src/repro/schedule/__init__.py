@@ -1,0 +1,24 @@
+"""Complete-exchange scheduling on partially populated tori.
+
+The paper's load :math:`E_{max}` is a *bandwidth* lower bound: under any
+schedule in which each directed link carries at most one message per
+phase, a complete exchange needs at least :math:`\\lceil E_{max} \\rceil`
+phases (the busiest link must serve all its messages one at a time).  Its
+reference [7] (Tseng et al.) studies complete-exchange algorithms that
+approach this bound on tori; this subpackage provides the scheduling layer
+that connects our static loads to phase counts:
+
+* :func:`~repro.schedule.greedy.greedy_phase_schedule` — first-fit
+  scheduling of every message's routed path into link-disjoint phases;
+* :func:`~repro.schedule.greedy.schedule_lower_bound` — the
+  :math:`\\lceil E_{max}\\rceil` bandwidth bound the schedule is measured
+  against.
+"""
+
+from repro.schedule.greedy import (
+    PhaseSchedule,
+    greedy_phase_schedule,
+    schedule_lower_bound,
+)
+
+__all__ = ["PhaseSchedule", "greedy_phase_schedule", "schedule_lower_bound"]

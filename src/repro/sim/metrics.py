@@ -1,0 +1,45 @@
+"""Link-counter summaries for simulation output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinkCountSummary", "summarize_link_counts"]
+
+
+@dataclass(frozen=True)
+class LinkCountSummary:
+    """Aggregate view of per-link traversal counters."""
+
+    max_count: int
+    mean_count: float
+    mean_nonzero: float
+    used_links: int
+    total_traversals: int
+
+    def normalized(self, rounds: int) -> "LinkCountSummary":
+        """Per-exchange figures when the run repeated ``rounds`` exchanges."""
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        return LinkCountSummary(
+            max_count=self.max_count // rounds,
+            mean_count=self.mean_count / rounds,
+            mean_nonzero=self.mean_nonzero / rounds,
+            used_links=self.used_links,
+            total_traversals=self.total_traversals // rounds,
+        )
+
+
+def summarize_link_counts(link_counts: np.ndarray) -> LinkCountSummary:
+    """Summarize one per-link counter vector."""
+    link_counts = np.asarray(link_counts)
+    nonzero = link_counts[link_counts > 0]
+    return LinkCountSummary(
+        max_count=int(link_counts.max(initial=0)),
+        mean_count=float(link_counts.mean()) if link_counts.size else 0.0,
+        mean_nonzero=float(nonzero.mean()) if nonzero.size else 0.0,
+        used_links=int(nonzero.size),
+        total_traversals=int(link_counts.sum()),
+    )

@@ -1,0 +1,117 @@
+"""Node-failure modelling: a dead router kills all its links.
+
+The paper's fault discussion (§7) is phrased in terms of link failures;
+in practice whole routers die, taking their ``2d`` incident links in each
+direction with them.  These helpers translate node-failure scenarios into
+the dense edge-id world the rest of the fault machinery
+(:class:`~repro.routing.faults.FaultMaskedRouting`,
+:class:`~repro.sim.network.SimNetwork`) already speaks, and account for
+the processors lost outright when a *populated* node dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placements.base import Placement
+from repro.torus.topology import Torus
+from repro.util.rng import resolve_rng
+
+__all__ = [
+    "edges_of_nodes",
+    "random_node_failures",
+    "NodeFailureImpact",
+    "node_failure_impact",
+]
+
+
+def edges_of_nodes(torus: Torus, node_ids) -> np.ndarray:
+    """All directed edges incident to the given nodes (either endpoint).
+
+    A node's failure removes its ``2d`` outgoing and ``2d`` incoming links;
+    links between two failed nodes are reported once.
+    """
+    node_ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+    if node_ids.size == 0:
+        return np.empty(0, dtype=np.int64)
+    ei = torus.edges
+    chunks = []
+    for dim in range(torus.d):
+        for sign in (+1, -1):
+            # outgoing links of the dead nodes
+            chunks.append(
+                ei.edge_ids_array(
+                    node_ids,
+                    np.full(node_ids.shape, dim, dtype=np.int64),
+                    np.full(node_ids.shape, sign, dtype=np.int64),
+                )
+            )
+            # incoming links: the outgoing links of their neighbours back in
+            neighbours = ei.neighbors_array(node_ids, dim, sign)
+            chunks.append(
+                ei.edge_ids_array(
+                    neighbours,
+                    np.full(neighbours.shape, dim, dtype=np.int64),
+                    np.full(neighbours.shape, -sign, dtype=np.int64),
+                )
+            )
+    return np.unique(np.concatenate(chunks))
+
+
+def random_node_failures(torus: Torus, num_failures: int, seed=None) -> np.ndarray:
+    """Choose ``num_failures`` distinct nodes to kill, uniformly."""
+    if not 0 <= num_failures <= torus.num_nodes:
+        raise ValueError(
+            f"num_failures must lie in [0, {torus.num_nodes}], got {num_failures}"
+        )
+    rng = resolve_rng(seed)
+    return np.sort(
+        rng.choice(torus.num_nodes, size=num_failures, replace=False)
+    ).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class NodeFailureImpact:
+    """What a node-failure set does to a placement.
+
+    Attributes
+    ----------
+    failed_nodes:
+        The dead nodes.
+    failed_edges:
+        Every directed link a dead node touches (feed these to
+        ``FaultMaskedRouting`` / ``SimNetwork``).
+    lost_processors:
+        Processors that died with their node.
+    surviving_placement:
+        The placement restricted to live nodes (``None`` if every
+        processor died).
+    """
+
+    failed_nodes: np.ndarray
+    failed_edges: np.ndarray
+    lost_processors: int
+    surviving_placement: Placement | None
+
+
+def node_failure_impact(placement: Placement, failed_nodes) -> NodeFailureImpact:
+    """Assess a node-failure set against a placement."""
+    torus = placement.torus
+    failed_nodes = np.unique(np.asarray(failed_nodes, dtype=np.int64))
+    failed_edges = edges_of_nodes(torus, failed_nodes)
+    dead_mask = np.isin(placement.node_ids, failed_nodes)
+    lost = int(np.count_nonzero(dead_mask))
+    survivors = placement.node_ids[~dead_mask]
+    surviving = (
+        Placement(torus, survivors, name=f"{placement.name}|survivors")
+        if survivors.size
+        else None
+    )
+    return NodeFailureImpact(
+        failed_nodes=failed_nodes,
+        failed_edges=failed_edges,
+        lost_processors=lost,
+        surviving_placement=surviving,
+    )

@@ -1,0 +1,49 @@
+"""Packet representation for the cycle simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """One message travelling a pre-sampled path.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique id (dense, assigned by the workload builder).
+    src, dst:
+        Source and destination node ids.
+    edge_ids:
+        The full path, as dense directed-edge ids, sampled at injection
+        time uniformly from the routing relation.
+    release_cycle:
+        Cycle at which the packet enters its first output queue.
+    hop:
+        Index of the next edge to traverse (simulator state).
+    delivered_cycle:
+        Cycle at which the last hop completed; ``None`` while in flight.
+    """
+
+    packet_id: int
+    src: int
+    dst: int
+    edge_ids: tuple[int, ...]
+    release_cycle: int = 0
+    hop: int = field(default=0, compare=False)
+    delivered_cycle: int | None = field(default=None, compare=False)
+
+    @property
+    def path_length(self) -> int:
+        """Total hops this packet must make."""
+        return len(self.edge_ids)
+
+    @property
+    def latency(self) -> int | None:
+        """Delivery latency in cycles (``None`` while undelivered)."""
+        if self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.release_cycle

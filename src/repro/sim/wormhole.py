@@ -1,0 +1,353 @@
+"""Flit-level wormhole-switched simulator (extension).
+
+The paper's load model (Definition 4) counts paths; its references ([7],
+[11] — Tseng et al., Ni & McKinley) study the same networks under
+*wormhole* switching, where a packet is a worm of flits pipelining through
+the network and holding its channels from head to tail.  This module adds
+that substrate so users can see how the paper's static loads translate
+into dynamic latency under a realistic flow-control model:
+
+* each directed link carries **two virtual channels** (VC0/VC1) with
+  private flit buffers; the physical link transfers at most one flit per
+  cycle;
+* routes are the dimension-order (ODR/UDR-sampled) paths of
+  :mod:`repro.routing`; within each dimension a packet starts on VC0 and
+  switches to VC1 after crossing that ring's **dateline** (the wraparound
+  boundary) — the classical scheme that breaks the torus's cyclic channel
+  dependences, so dimension-order wormhole routing is deadlock-free;
+* a channel is owned by one packet from the moment its head flit enters
+  until its tail flit leaves (wormhole allocation).
+
+The observable outputs mirror the store-and-forward engine: per-link flit
+counters (each packet contributes ``flits_per_packet`` per traversed link,
+so counters normalize to Definition 4 loads), per-packet latency
+(≈ hops + flits under no contention — the pipelining effect), and
+completion time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.packet import Packet
+from repro.torus.topology import Torus
+
+__all__ = ["WormholeConfig", "WormholeResult", "WormholeEngine", "assign_virtual_channels"]
+
+#: number of virtual channels per physical link (dateline scheme needs 2)
+NUM_VCS = 2
+
+
+@dataclass(frozen=True)
+class WormholeConfig:
+    """Flow-control parameters.
+
+    Attributes
+    ----------
+    flits_per_packet:
+        Worm length (head + body + tail); ``1`` degenerates to
+        virtual-cut-through of single-flit packets.
+    buffer_flits:
+        Per-virtual-channel buffer capacity in flits.
+    """
+
+    flits_per_packet: int = 4
+    buffer_flits: int = 2
+
+    def __post_init__(self):
+        if self.flits_per_packet < 1:
+            raise SimulationError(
+                f"flits_per_packet must be >= 1, got {self.flits_per_packet}"
+            )
+        if self.buffer_flits < 1:
+            raise SimulationError(
+                f"buffer_flits must be >= 1, got {self.buffer_flits}"
+            )
+
+
+def assign_virtual_channels(torus: Torus, edge_ids) -> list[int]:
+    """Dateline VC assignment along a dimension-order route.
+
+    Within every dimension the packet starts on VC0; the hop that crosses
+    the ring's wraparound boundary (coordinate ``k-1 → 0`` travelling
+    ``+``, or ``0 → k-1`` travelling ``−``) and every later hop *in that
+    dimension* use VC1.  Entering a new dimension resets to VC0.
+    """
+    ei = torus.edges
+    vcs: list[int] = []
+    current_dim = -1
+    crossed = False
+    for edge_id in edge_ids:
+        e = ei.decode(int(edge_id))
+        if e.dim != current_dim:
+            current_dim = e.dim
+            crossed = False
+        tail_coord = torus.coord(e.tail)[e.dim]
+        if e.sign > 0 and tail_coord == torus.k - 1:
+            crossed = True
+        elif e.sign < 0 and tail_coord == 0:
+            crossed = True
+        vcs.append(1 if crossed else 0)
+    return vcs
+
+
+@dataclass
+class _Channel:
+    """One virtual channel: a flit FIFO plus wormhole ownership."""
+
+    capacity: int
+    owner: int | None = None  # packet id holding the channel
+    buf: deque = field(default_factory=deque)  # of (packet_id, flit_idx)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self.buf) < self.capacity
+
+
+@dataclass(frozen=True)
+class WormholeResult:
+    """Outcome of a wormhole run.
+
+    ``link_flit_counts[l] / flits_per_packet`` is the per-link packet
+    count — directly comparable to the store-and-forward counters and to
+    the analytic loads.
+    """
+
+    cycles: int
+    link_flit_counts: np.ndarray
+    latencies: np.ndarray
+    delivered: int
+    flits_per_packet: int
+
+    @property
+    def link_packet_counts(self) -> np.ndarray:
+        return self.link_flit_counts / self.flits_per_packet
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean()) if self.latencies.size else 0.0
+
+
+class _PacketState:
+    """Simulator-internal per-packet bookkeeping."""
+
+    __slots__ = (
+        "packet", "vcs", "flits_injected", "flits_sunk", "head_hop",
+    )
+
+    def __init__(self, packet: Packet, vcs: list[int]):
+        self.packet = packet
+        self.vcs = vcs
+        self.flits_injected = 0
+        self.flits_sunk = 0
+        self.head_hop = -1  # furthest hop index any flit has reached
+
+
+class WormholeEngine:
+    """Synchronous flit-level wormhole simulator.
+
+    Parameters
+    ----------
+    torus:
+        Topology.
+    config:
+        Flow-control parameters.
+    max_cycles:
+        Safety bound; dimension-order + dateline routing cannot deadlock,
+        so hitting it indicates an engine bug or absurd contention.
+    """
+
+    def __init__(
+        self,
+        torus: Torus,
+        config: WormholeConfig | None = None,
+        max_cycles: int = 1_000_000,
+    ):
+        self.torus = torus
+        self.config = config or WormholeConfig()
+        self.max_cycles = int(max_cycles)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, packets: list[Packet]) -> WormholeResult:
+        """Simulate until every packet's tail flit is ejected."""
+        cfg = self.config
+        torus = self.torus
+        flits = cfg.flits_per_packet
+
+        states: dict[int, _PacketState] = {}
+        for p in packets:
+            if len(set(p.edge_ids)) != len(p.edge_ids):
+                raise SimulationError(
+                    f"packet {p.packet_id} revisits a link; wormhole routes "
+                    "must be edge-simple"
+                )
+            states[p.packet_id] = _PacketState(
+                p, assign_virtual_channels(torus, p.edge_ids)
+            )
+            p.delivered_cycle = None
+
+        channels: dict[tuple[int, int], _Channel] = {}
+
+        def channel(edge_id: int, vc: int) -> _Channel:
+            key = (edge_id, vc)
+            if key not in channels:
+                channels[key] = _Channel(capacity=cfg.buffer_flits)
+            return channels[key]
+
+        link_counts = np.zeros(torus.num_edges, dtype=np.int64)
+        delivered = 0
+        total = len(packets)
+        # zero-hop packets deliver immediately (flits never enter the net)
+        for st in states.values():
+            if st.packet.path_length == 0:
+                st.packet.delivered_cycle = st.packet.release_cycle
+                delivered += 1
+
+        cycle = 0
+        last_delivery = 0
+        rr_offset = 0  # rotates candidate priority for fairness
+
+        while delivered < total:
+            if cycle > self.max_cycles:
+                stuck = [
+                    st.packet.packet_id
+                    for st in states.values()
+                    if st.packet.delivered_cycle is None
+                ]
+                raise SimulationError(
+                    f"wormhole run exceeded {self.max_cycles} cycles with "
+                    f"packets {stuck[:8]} in flight"
+                )
+
+            # ---- phase 1: eject flits at destinations (no link bandwidth)
+            for st in states.values():
+                p = st.packet
+                if p.delivered_cycle is not None or p.path_length == 0:
+                    continue
+                last_hop = p.path_length - 1
+                ch = channel(p.edge_ids[last_hop], st.vcs[last_hop])
+                if ch.buf and ch.buf[0][0] == p.packet_id:
+                    pid, fidx = ch.buf.popleft()
+                    st.flits_sunk += 1
+                    if fidx == flits - 1:  # tail flit ejected
+                        ch.owner = None
+                        p.delivered_cycle = cycle
+                        delivered += 1
+                        last_delivery = cycle
+            if delivered >= total:
+                break
+
+            # ---- phase 2: one flit crossing per physical link
+            candidates: dict[int, list[tuple]] = {}
+
+            def add_candidate(link: int, entry: tuple) -> None:
+                candidates.setdefault(link, []).append(entry)
+
+            for st in states.values():
+                p = st.packet
+                if p.delivered_cycle is not None or p.path_length == 0:
+                    continue
+                # injection of the next flit crosses route[0]
+                if (
+                    st.flits_injected < flits
+                    and cycle >= p.release_cycle
+                ):
+                    add_candidate(
+                        p.edge_ids[0], ("inject", st, st.flits_injected)
+                    )
+                # head-of-buffer flits advancing to the next channel
+                for hop in range(p.path_length - 1):
+                    ch = channel(p.edge_ids[hop], st.vcs[hop])
+                    if ch.buf and ch.buf[0][0] == p.packet_id:
+                        add_candidate(
+                            p.edge_ids[hop + 1], ("advance", st, hop)
+                        )
+
+            moved_any = False
+            moved_flits: set[tuple[int, int]] = set()  # one hop per flit per cycle
+            for link in sorted(candidates):
+                entries = candidates[link]
+                # rotate priority for fairness across cycles
+                order = entries[rr_offset % len(entries):] + entries[: rr_offset % len(entries)]
+                for kind, st, arg in order:
+                    if self._try_move(kind, st, arg, channel, link_counts, moved_flits):
+                        moved_any = True
+                        break
+            rr_offset += 1
+            if not moved_any and delivered < total:
+                # no ejection possible either (we broke out above only on
+                # completion) -> check next cycle; ejection phase always
+                # drains the final channels, so persistent stalls only
+                # happen before release cycles
+                pass
+            cycle += 1
+
+        latencies = np.array(
+            [p.latency for p in packets], dtype=np.int64
+        ) if packets else np.empty(0, dtype=np.int64)
+        return WormholeResult(
+            cycles=last_delivery,
+            link_flit_counts=link_counts,
+            latencies=latencies,
+            delivered=delivered,
+            flits_per_packet=flits,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _try_move(
+        self, kind, st: _PacketState, arg, channel, link_counts, moved_flits
+    ) -> bool:
+        """Attempt one flit crossing; returns True if it happened."""
+        p = st.packet
+        flits = self.config.flits_per_packet
+        if kind == "inject":
+            fidx = arg
+            if (p.packet_id, fidx) in moved_flits:
+                return False
+            target = channel(p.edge_ids[0], st.vcs[0])
+            if fidx == 0:
+                # head flit allocates the first channel
+                if target.owner is not None or not target.has_space:
+                    return False
+                target.owner = p.packet_id
+            else:
+                if target.owner != p.packet_id or not target.has_space:
+                    return False
+            target.buf.append((p.packet_id, fidx))
+            st.flits_injected += 1
+            link_counts[p.edge_ids[0]] += 1
+            moved_flits.add((p.packet_id, fidx))
+            return True
+
+        # kind == "advance": head-of-buffer flit at `hop` moves to hop+1
+        hop = arg
+        src = channel(p.edge_ids[hop], st.vcs[hop])
+        if not src.buf or src.buf[0][0] != p.packet_id:
+            return False
+        _pid, fidx = src.buf[0]
+        if (p.packet_id, fidx) in moved_flits:
+            return False  # one hop per flit per cycle
+        dst = channel(p.edge_ids[hop + 1], st.vcs[hop + 1])
+        if dst.owner is None:
+            if fidx != 0:
+                return False  # body flits may not allocate
+            if not dst.has_space:
+                return False
+            dst.owner = p.packet_id
+        else:
+            if dst.owner != p.packet_id or not dst.has_space:
+                return False
+        src.buf.popleft()
+        dst.buf.append((p.packet_id, fidx))
+        st.head_hop = max(st.head_hop, hop + 1)
+        if fidx == flits - 1:
+            src.owner = None  # tail left: release the channel
+        link_counts[p.edge_ids[hop + 1]] += 1
+        moved_flits.add((p.packet_id, fidx))
+        return True

@@ -1,0 +1,223 @@
+"""Dense indexing of the directed edges (links) of :math:`T_k^d`.
+
+Every node has exactly ``2d`` outgoing links — one per (dimension, sign)
+pair — so the directed edge set has size ``2d·k^d`` and admits the dense id
+
+.. code-block:: text
+
+    edge_id = node_id * 2d + 2*dim + sign_bit
+
+where ``sign_bit`` is 0 for the ``+`` ring direction and 1 for ``−``.
+Loads, fault masks, and simulator counters are all flat arrays indexed by
+this id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.torus.coords import coords_to_ids, ids_to_coords
+from repro.util.validation import check_torus_params
+
+__all__ = ["Edge", "EdgeIndex"]
+
+#: sign-bit encoding: the + ring direction.
+SIGN_PLUS = 0
+#: sign-bit encoding: the − ring direction.
+SIGN_MINUS = 1
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A decoded directed edge of :math:`T_k^d`.
+
+    Attributes
+    ----------
+    tail:
+        Node id of the edge's source.
+    head:
+        Node id of the edge's destination.
+    dim:
+        Dimension (0-based) the edge travels along.
+    sign:
+        ``+1`` for the ``+`` ring direction, ``-1`` for ``−``.
+    edge_id:
+        The dense id of this edge.
+    """
+
+    tail: int
+    head: int
+    dim: int
+    sign: int
+    edge_id: int
+
+
+class EdgeIndex:
+    """Bidirectional mapping between directed edges and dense edge ids.
+
+    Parameters
+    ----------
+    k, d:
+        The torus parameters.
+
+    Notes
+    -----
+    All heavy-duty methods (the ``*_array`` family) operate on numpy arrays
+    without Python-level loops; the scalar methods are conveniences for
+    tests and display code.
+    """
+
+    def __init__(self, k: int, d: int):
+        self.k, self.d = check_torus_params(k, d)
+        self.num_nodes = self.k**self.d
+        self.num_edges = 2 * self.d * self.num_nodes
+        # Stride of one unit step in dimension `dim` in C-order node ids.
+        self._strides = np.array(
+            [self.k ** (self.d - 1 - i) for i in range(self.d)], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------ ids
+
+    def edge_id(self, node_id: int, dim: int, sign: int) -> int:
+        """Dense id of the link leaving ``node_id`` along ``dim`` with ``sign``.
+
+        ``sign`` is ``+1`` or ``-1``.
+        """
+        self._check_dim(dim)
+        sign_bit = self._sign_bit(sign)
+        node_id = int(node_id)
+        if not 0 <= node_id < self.num_nodes:
+            raise InvalidParameterError(
+                f"node id {node_id} outside [0, {self.num_nodes})"
+            )
+        return node_id * 2 * self.d + 2 * dim + sign_bit
+
+    def edge_ids_array(self, node_ids, dims, signs) -> np.ndarray:
+        """Vectorized :meth:`edge_id` over broadcastable arrays.
+
+        ``signs`` holds ``+1``/``-1`` values.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        dims = np.asarray(dims, dtype=np.int64)
+        signs = np.asarray(signs, dtype=np.int64)
+        sign_bits = (signs < 0).astype(np.int64)
+        return node_ids * (2 * self.d) + 2 * dims + sign_bits
+
+    def decode(self, edge_id: int) -> Edge:
+        """Decode a dense edge id into an :class:`Edge` record."""
+        edge_id = int(edge_id)
+        if not 0 <= edge_id < self.num_edges:
+            raise InvalidParameterError(
+                f"edge id {edge_id} outside [0, {self.num_edges})"
+            )
+        node_id, rem = divmod(edge_id, 2 * self.d)
+        dim, sign_bit = divmod(rem, 2)
+        sign = +1 if sign_bit == SIGN_PLUS else -1
+        head = self.neighbor(node_id, dim, sign)
+        return Edge(tail=node_id, head=head, dim=dim, sign=sign, edge_id=edge_id)
+
+    def decode_arrays(self, edge_ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized decode: returns ``(tails, dims, signs)`` arrays."""
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        tails, rem = np.divmod(edge_ids, 2 * self.d)
+        dims, sign_bits = np.divmod(rem, 2)
+        signs = np.where(sign_bits == SIGN_PLUS, 1, -1).astype(np.int64)
+        return tails, dims, signs
+
+    # ------------------------------------------------------------ neighbors
+
+    def neighbor(self, node_id: int, dim: int, sign: int) -> int:
+        """Node id reached from ``node_id`` by one hop along ``dim``/``sign``."""
+        self._check_dim(dim)
+        coord = ids_to_coords(node_id, self.k, self.d).copy()
+        coord[dim] = (coord[dim] + (1 if sign > 0 else -1)) % self.k
+        return int(coords_to_ids(coord, self.k, self.d)[0])
+
+    def neighbors_array(self, node_ids, dim: int, sign: int) -> np.ndarray:
+        """Vectorized :meth:`neighbor` for a fixed ``(dim, sign)``."""
+        self._check_dim(dim)
+        coords = ids_to_coords(np.asarray(node_ids, dtype=np.int64), self.k, self.d)
+        coords = np.atleast_2d(coords).copy()
+        coords[:, dim] = np.mod(coords[:, dim] + (1 if sign > 0 else -1), self.k)
+        return coords_to_ids(coords, self.k, self.d)
+
+    def step_coords(self, coords: np.ndarray, dim: int, sign: int) -> np.ndarray:
+        """Return a copy of ``(n, d)`` coordinates advanced one hop."""
+        self._check_dim(dim)
+        out = np.array(coords, dtype=np.int64, copy=True)
+        out[:, dim] = np.mod(out[:, dim] + (1 if sign > 0 else -1), self.k)
+        return out
+
+    # ------------------------------------------------------------- lookups
+
+    def edge_between(self, tail_id: int, head_id: int) -> int:
+        """Dense id of the directed edge ``tail → head``.
+
+        Raises
+        ------
+        InvalidParameterError
+            If the two nodes are not adjacent on the torus.
+        """
+        tc = ids_to_coords(tail_id, self.k, self.d)
+        hc = ids_to_coords(head_id, self.k, self.d)
+        diff_dims = np.nonzero(tc != hc)[0]
+        if len(diff_dims) != 1:
+            raise InvalidParameterError(
+                f"nodes {tail_id} and {head_id} differ in {len(diff_dims)} "
+                "dimensions; torus edges differ in exactly one"
+            )
+        dim = int(diff_dims[0])
+        step = (int(hc[dim]) - int(tc[dim])) % self.k
+        if step == 1 % self.k:
+            sign = +1
+        elif step == (-1) % self.k:
+            sign = -1
+        else:
+            raise InvalidParameterError(
+                f"nodes {tail_id} and {head_id} are not adjacent in dim {dim}"
+            )
+        return self.edge_id(int(tail_id), dim, sign)
+
+    def reverse(self, edge_id: int) -> int:
+        """Dense id of the oppositely-directed edge over the same link."""
+        e = self.decode(edge_id)
+        return self.edge_id(e.head, e.dim, -e.sign)
+
+    def all_edges(self) -> np.ndarray:
+        """All dense edge ids, ``arange(num_edges)``."""
+        return np.arange(self.num_edges, dtype=np.int64)
+
+    def undirected_pair_ids(self) -> np.ndarray:
+        """One canonical representative per undirected link.
+
+        Returns the ids of every ``+``-direction edge; together with their
+        :meth:`reverse` partners they cover all directed edges exactly once.
+        For ``k == 2`` the ``+`` and ``−`` links between a node pair are
+        parallel but distinct directed links, and both are still reported
+        through their ``+`` representatives.
+        """
+        ids = self.all_edges()
+        _, _, signs = self.decode_arrays(ids)
+        return ids[signs > 0]
+
+    # ------------------------------------------------------------ internal
+
+    def _check_dim(self, dim: int) -> None:
+        if not 0 <= dim < self.d:
+            raise InvalidParameterError(
+                f"dimension index {dim} outside [0, {self.d})"
+            )
+
+    @staticmethod
+    def _sign_bit(sign: int) -> int:
+        if sign in (1, +1):
+            return SIGN_PLUS
+        if sign == -1:
+            return SIGN_MINUS
+        raise InvalidParameterError(f"sign must be +1 or -1, got {sign}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"EdgeIndex(k={self.k}, d={self.d}, num_edges={self.num_edges})"

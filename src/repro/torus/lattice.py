@@ -1,0 +1,139 @@
+"""The d-dimensional k-ary array :math:`A_k^d` and its geometric embedding.
+
+The paper's Appendix proves Proposition 1 by working with the *array*
+(mesh) :math:`A_k^d` — the torus minus its wraparound links — embedded in
+:math:`\\mathbb{R}^d` at the integer lattice points
+:math:`\\{0, …, k-1\\}^d`.  A hyperplane with direction
+:math:`(1, γ, γ^2, …, γ^{d-1})`, :math:`γ` transcendental and
+:math:`1 < γ < 2^{1/(d-1)}`, then
+
+* contains at most one lattice point for any offset ``t``, and
+* crosses at most :math:`2dk^{d-1}` array edges.
+
+:class:`ArrayLattice` provides exactly the pieces the sweep algorithm in
+:mod:`repro.bisection.hyperplane` needs: the embedding, the sweep
+direction, dot products, and classification of edges against a hyperplane
+offset.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.torus.coords import all_coords
+from repro.util.validation import check_torus_params
+
+__all__ = ["ArrayLattice", "sweep_gamma", "sweep_direction"]
+
+
+def sweep_gamma(d: int) -> float:
+    """A sweep base :math:`γ` strictly inside :math:`(1, 2^{1/(d-1)})`.
+
+    The paper requires a transcendental :math:`γ`; in floating point we can
+    only approximate, so we derive γ from :math:`π` (transcendental) mapped
+    into the open interval:  γ = 1 + (2^{1/(d-1)} − 1)·(π − 3), with
+    :math:`π − 3 ≈ 0.1416` keeping γ comfortably away from both endpoints.
+    For ``d == 1`` the interval is vacuous (any γ > 1 works since there are
+    no higher powers); we return :math:`π/2`.
+
+    The no-two-lattice-points property is *verified numerically* by the
+    sweep algorithm (distinct dot products over the placement); if a
+    collision is ever detected the caller perturbs γ deterministically.
+    """
+    if d < 1:
+        raise InvalidParameterError(f"dimension d must be >= 1, got {d}")
+    if d == 1:
+        return math.pi / 2
+    upper = 2.0 ** (1.0 / (d - 1))
+    return 1.0 + (upper - 1.0) * (math.pi - 3.0)
+
+
+def sweep_direction(d: int, gamma: float | None = None) -> np.ndarray:
+    """Unit vector :math:`η` in the direction :math:`(1, γ, …, γ^{d-1})`."""
+    if gamma is None:
+        gamma = sweep_gamma(d)
+    if d >= 2 and not (1.0 < gamma < 2.0 ** (1.0 / (d - 1))):
+        raise InvalidParameterError(
+            f"gamma must lie in (1, 2^(1/(d-1))) = (1, {2.0 ** (1.0 / (d - 1)):.6f}) "
+            f"for d={d}; got {gamma}"
+        )
+    vec = np.array([gamma**i for i in range(d)], dtype=np.float64)
+    return vec / np.linalg.norm(vec)
+
+
+class ArrayLattice:
+    """The array :math:`A_k^d` with its standard embedding in ``R^d``.
+
+    Parameters
+    ----------
+    k, d:
+        Array parameters (same ranges as the torus).
+    gamma:
+        Optional override of the sweep base; defaults to :func:`sweep_gamma`.
+    """
+
+    def __init__(self, k: int, d: int, gamma: float | None = None):
+        self.k, self.d = check_torus_params(k, d)
+        self.gamma = sweep_gamma(self.d) if gamma is None else float(gamma)
+        self.eta = sweep_direction(self.d, self.gamma)
+
+    # ----------------------------------------------------------- structure
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count :math:`k^d` (same node set as the torus)."""
+        return self.k**self.d
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Array (mesh) edge count :math:`d(k-1)k^{d-1}` (no wraparound)."""
+        return self.d * (self.k - 1) * self.k ** (self.d - 1)
+
+    @property
+    def num_wraparound_edges(self) -> int:
+        """Undirected wraparound links the torus adds: :math:`dk^{d-1}`.
+
+        For ``k == 2`` the "wraparound" link is parallel to the array link;
+        it is still counted, matching the paper's edge accounting.
+        """
+        return self.d * self.k ** (self.d - 1)
+
+    def node_positions(self) -> np.ndarray:
+        """Embedded positions of all nodes — the integer lattice, ``(k^d, d)``."""
+        return all_coords(self.k, self.d).astype(np.float64)
+
+    # --------------------------------------------------------------- sweep
+
+    def projections(self, coords=None) -> np.ndarray:
+        """Dot products :math:`⟨a, η⟩` of (given or all) node coordinates."""
+        pts = (
+            self.node_positions()
+            if coords is None
+            else np.asarray(coords, dtype=np.float64)
+        )
+        return pts @ self.eta
+
+    def edges_crossed(self, t0: float) -> int:
+        """Number of undirected array edges crossed by :math:`\\mathcal{H}_{t0}`.
+
+        An edge between lattice points :math:`a` and :math:`a + e_i` is
+        crossed iff :math:`⟨a, η⟩ < t_0 < ⟨a, η⟩ + η_i`.  Computed fully
+        vectorized, one pass per dimension.
+        """
+        proj = self.projections()
+        coords = all_coords(self.k, self.d)
+        total = 0
+        for i in range(self.d):
+            tails = proj[coords[:, i] < self.k - 1]
+            total += int(np.count_nonzero((tails < t0) & (t0 < tails + self.eta[i])))
+        return total
+
+    def max_edges_crossed_bound(self) -> int:
+        """The Appendix's bound: any sweep offset crosses ≤ :math:`2dk^{d-1}` edges."""
+        return 2 * self.d * self.k ** (self.d - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ArrayLattice(k={self.k}, d={self.d}, gamma={self.gamma:.6f})"

@@ -1,0 +1,67 @@
+"""Principal subtori of :math:`T_k^d`.
+
+Fixing one coordinate ``a_dim = value`` selects a subgraph isomorphic to
+:math:`T_k^{d-1}` — a *principal subtorus* (Definition 1).  Uniform
+placements (and Theorem 1's bisection construction) are phrased in terms of
+how many processors each principal subtorus receives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.torus.coords import ids_to_coords
+from repro.torus.topology import Torus
+
+__all__ = [
+    "principal_subtorus_nodes",
+    "subtorus_layer_counts",
+    "cut_edges_between_layers",
+]
+
+
+def principal_subtorus_nodes(torus: Torus, dim: int, value: int) -> np.ndarray:
+    """Node ids of the principal subtorus ``{a : a_dim = value}``.
+
+    Returns a sorted ``(k**(d-1),)`` array of node ids.
+    """
+    if not 0 <= dim < torus.d:
+        raise InvalidParameterError(f"dim {dim} outside [0, {torus.d})")
+    if not 0 <= value < torus.k:
+        raise InvalidParameterError(f"value {value} outside [0, {torus.k})")
+    coords = torus.all_node_coords()
+    return np.nonzero(coords[:, dim] == value)[0].astype(np.int64)
+
+
+def subtorus_layer_counts(torus: Torus, node_ids, dim: int) -> np.ndarray:
+    """Histogram of ``node_ids`` over the ``k`` principal subtori along ``dim``.
+
+    ``result[v]`` is how many of the given nodes lie in the subtorus
+    ``a_dim = v``.  A placement is *uniform along dim* iff this histogram is
+    constant.
+    """
+    if not 0 <= dim < torus.d:
+        raise InvalidParameterError(f"dim {dim} outside [0, {torus.d})")
+    node_ids = np.asarray(node_ids, dtype=np.int64)
+    coords = np.atleast_2d(ids_to_coords(node_ids, torus.k, torus.d))
+    return np.bincount(coords[:, dim], minlength=torus.k).astype(np.int64)
+
+
+def cut_edges_between_layers(torus: Torus, dim: int, boundary: int) -> np.ndarray:
+    """Directed edge ids crossing between layers ``boundary`` and ``boundary+1``.
+
+    These are the :math:`2k^{d-1}` links (both directions) between the
+    principal subtori ``a_dim = boundary`` and ``a_dim = boundary+1 (mod k)``
+    — one of the two parallel cuts in Theorem 1's bisection.
+    """
+    if not 0 <= dim < torus.d:
+        raise InvalidParameterError(f"dim {dim} outside [0, {torus.d})")
+    boundary = boundary % torus.k
+    nxt = (boundary + 1) % torus.k
+    lower = principal_subtorus_nodes(torus, dim, boundary)
+    upper = principal_subtorus_nodes(torus, dim, nxt)
+    ei = torus.edges
+    forward = ei.edge_ids_array(lower, np.full(lower.shape, dim), np.ones(lower.shape, dtype=np.int64))
+    backward = ei.edge_ids_array(upper, np.full(upper.shape, dim), -np.ones(upper.shape, dtype=np.int64))
+    return np.sort(np.concatenate([forward, backward]))

@@ -1,0 +1,158 @@
+"""Modular (cyclic) arithmetic on ring coordinates.
+
+The torus :math:`T_k^d` has :math:`\\mathbb{Z}_k` coordinates in every
+dimension, so every distance notion in the paper reduces to *cyclic
+distance* (Definition 6):
+
+.. math::
+
+    \\mathrm{cd}_k(i, j) = \\min\\{(i - j) \\bmod k,\\; (j - i) \\bmod k\\}
+
+and *Lee distance*, the sum of per-coordinate cyclic distances, which is
+exactly the shortest-path length between two torus nodes.
+
+Everything here comes in a scalar flavour (readable, used in tests and
+tight inner loops over tiny inputs) and a vectorized numpy flavour (used by
+the load analyses, which process all :math:`|P|^2` pairs at once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cyclic_distance",
+    "cyclic_distance_array",
+    "lee_distance",
+    "lee_distance_array",
+    "minimal_correction",
+    "minimal_correction_array",
+    "TIE_PLUS",
+    "TIE_BOTH",
+]
+
+#: Tie-break policy: on an exact half-ring tie (k even, offset k/2), route in
+#: the ``+`` direction.  This is the paper's *restricted* ODR convention
+#: ("Pick the path that corrects p_i in the (+) direction (mod k)").
+TIE_PLUS = "plus"
+
+#: Tie-break policy marker for callers that want both directions reported.
+TIE_BOTH = "both"
+
+
+def cyclic_distance(i: int, j: int, k: int) -> int:
+    """Cyclic distance between residues ``i`` and ``j`` modulo ``k``.
+
+    Parameters
+    ----------
+    i, j:
+        Coordinates; they are reduced modulo ``k`` internally, so any
+        integers are accepted.
+    k:
+        Ring size, ``k >= 1``.
+
+    Returns
+    -------
+    int
+        ``min((i - j) % k, (j - i) % k)`` — the minimal number of ring hops
+        between the two residues.
+    """
+    if k < 1:
+        raise ValueError(f"ring size k must be >= 1, got {k}")
+    a = (i - j) % k
+    b = (j - i) % k
+    return a if a < b else b
+
+
+def cyclic_distance_array(i, j, k: int) -> np.ndarray:
+    """Vectorized :func:`cyclic_distance` over numpy broadcastable inputs."""
+    if k < 1:
+        raise ValueError(f"ring size k must be >= 1, got {k}")
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    a = np.mod(i - j, k)
+    return np.minimum(a, k - a) if k > 1 else np.zeros_like(a)
+
+
+def lee_distance(p, q, k: int) -> int:
+    """Lee distance between coordinate tuples ``p`` and ``q`` on ``T_k^d``.
+
+    The Lee distance is the length of a shortest path on the torus
+    (Definition 6 of the paper; see also Bose et al., "Lee Distance and
+    Topological Properties of k-ary n-cubes").
+    """
+    if len(p) != len(q):
+        raise ValueError(f"dimension mismatch: |p|={len(p)} |q|={len(q)}")
+    return sum(cyclic_distance(a, b, k) for a, b in zip(p, q))
+
+
+def lee_distance_array(p, q, k: int) -> np.ndarray:
+    """Vectorized Lee distance.
+
+    Parameters
+    ----------
+    p, q:
+        Arrays of shape ``(..., d)`` holding torus coordinates.
+    k:
+        Ring size.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(...,)`` array of Lee distances.
+    """
+    return cyclic_distance_array(p, q, k).sum(axis=-1)
+
+
+def minimal_correction(p_i: int, q_i: int, k: int, tie: str = TIE_PLUS):
+    """Signed minimal correction(s) taking residue ``p_i`` to ``q_i`` mod ``k``.
+
+    Returns a tuple ``(delta, tied)`` where ``delta`` is the signed step
+    count (positive means travel in the ``+`` ring direction) chosen by the
+    shortest-cyclic-distance rule, and ``tied`` says whether the two
+    directions were equidistant (only possible when ``k`` is even and the
+    offset is exactly ``k/2``).
+
+    With ``tie=TIE_PLUS`` (the paper's canonical restricted ODR) the tied
+    case resolves to the ``+`` direction.  With ``tie=TIE_BOTH`` the caller
+    receives the positive delta and must treat ``tied=True`` as "both
+    directions are minimal".
+    """
+    if tie not in (TIE_PLUS, TIE_BOTH):
+        raise ValueError(f"unknown tie policy {tie!r}")
+    fwd = (q_i - p_i) % k
+    bwd = (p_i - q_i) % k
+    if fwd < bwd:
+        return fwd, False
+    if bwd < fwd:
+        return -bwd, False
+    # fwd == bwd: either zero offset or the half-ring tie.
+    if fwd == 0:
+        return 0, False
+    return fwd, True
+
+
+def minimal_correction_array(p, q, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`minimal_correction` with the ``+`` tie-break.
+
+    Parameters
+    ----------
+    p, q:
+        Broadcastable integer arrays of residues modulo ``k``.
+    k:
+        Ring size.
+
+    Returns
+    -------
+    (delta, tied):
+        ``delta`` is the signed minimal step count with ties resolved to
+        ``+`` (so ``delta`` is ``+k/2`` on ties); ``tied`` is a boolean
+        array flagging the half-ring ties.
+    """
+    p = np.asarray(p, dtype=np.int64)
+    q = np.asarray(q, dtype=np.int64)
+    fwd = np.mod(q - p, k)
+    bwd = np.mod(p - q, k)
+    delta = np.where(fwd <= bwd, fwd, -bwd)
+    tied = (fwd == bwd) & (fwd != 0)
+    return delta, tied

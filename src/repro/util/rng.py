@@ -1,0 +1,44 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the package (random placements, UDR path
+sampling, the packet simulator, fault injection) accepts either an integer
+seed, an existing :class:`numpy.random.Generator`, or ``None``; this module
+normalizes all three to a ``Generator`` so results are reproducible when a
+seed is supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resolve_rng", "spawn_rngs"]
+
+
+def resolve_rng(seed_or_rng=None) -> np.random.Generator:
+    """Normalize ``seed_or_rng`` into a :class:`numpy.random.Generator`.
+
+    * ``None`` → a fresh OS-seeded generator,
+    * ``int`` → ``np.random.default_rng(int)``,
+    * ``Generator`` → returned unchanged.
+    """
+    if seed_or_rng is None:
+        return np.random.default_rng()
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, (int, np.integer)):
+        return np.random.default_rng(int(seed_or_rng))
+    raise TypeError(
+        f"expected None, int, or numpy Generator, got {type(seed_or_rng).__name__}"
+    )
+
+
+def spawn_rngs(seed_or_rng, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Useful when an experiment fans out Monte-Carlo repetitions and each
+    repetition must be reproducible in isolation.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    root = resolve_rng(seed_or_rng)
+    return list(root.spawn(n))

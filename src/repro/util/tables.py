@@ -1,0 +1,91 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The experiment harness reports paper-vs-measured rows; this module renders
+them as aligned monospace tables (GitHub-flavoured markdown compatible, so
+the same text drops straight into ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_table", "format_value"]
+
+
+def format_value(v: Any, float_fmt: str = "{:.6g}") -> str:
+    """Render a cell value: floats via ``float_fmt``, everything else via str."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        return float_fmt.format(v)
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_fmt: str = "{:.6g}",
+) -> str:
+    """Format ``rows`` under ``headers`` as a markdown-style aligned table."""
+    str_rows = [[format_value(v, float_fmt) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [fmt_row(list(headers))]
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """An incrementally built results table.
+
+    Example
+    -------
+    >>> t = Table(["k", "measured", "paper"])
+    >>> t.add_row([4, 0.75, 0.75])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    title: str = ""
+    float_fmt: str = "{:.6g}"
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append one row; its length must match the headers."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        """Render the table (with its title, when set) as text."""
+        body = format_table(self.headers, self.rows, self.float_fmt)
+        if self.title:
+            return f"### {self.title}\n\n{body}"
+        return body
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of the named column."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,68 @@
+"""Argument validation helpers.
+
+Centralizing the checks keeps error messages consistent across the package
+and gives tests a single behaviour to pin down.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "check_dimension",
+    "check_radix",
+    "check_torus_params",
+    "check_probability",
+    "check_positive",
+    "check_nonnegative",
+]
+
+
+def check_dimension(d: int) -> int:
+    """Validate a torus dimension count ``d >= 1`` and return it as int."""
+    if not isinstance(d, (int,)) or isinstance(d, bool):
+        raise InvalidParameterError(f"dimension d must be an int, got {d!r}")
+    if d < 1:
+        raise InvalidParameterError(f"dimension d must be >= 1, got {d}")
+    return int(d)
+
+
+def check_radix(k: int) -> int:
+    """Validate a torus radix (ring size) ``k >= 2`` and return it as int.
+
+    ``k = 2`` is the degenerate torus where the two ring directions coincide
+    as undirected edges but remain distinct directed links; ``k = 1`` would
+    collapse every ring to a self-loop, which the paper's model excludes.
+    """
+    if not isinstance(k, (int,)) or isinstance(k, bool):
+        raise InvalidParameterError(f"radix k must be an int, got {k!r}")
+    if k < 2:
+        raise InvalidParameterError(f"radix k must be >= 2, got {k}")
+    return int(k)
+
+
+def check_torus_params(k: int, d: int) -> tuple[int, int]:
+    """Validate a ``(k, d)`` pair, returning it normalized to ints."""
+    return check_radix(k), check_dimension(d)
+
+
+def check_probability(p: float, name: str = "p") -> float:
+    """Validate that ``p`` lies in ``[0, 1]``."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_positive(x, name: str = "value"):
+    """Validate that ``x > 0``."""
+    if x <= 0:
+        raise InvalidParameterError(f"{name} must be > 0, got {x}")
+    return x
+
+
+def check_nonnegative(x, name: str = "value"):
+    """Validate that ``x >= 0``."""
+    if x < 0:
+        raise InvalidParameterError(f"{name} must be >= 0, got {x}")
+    return x

@@ -1,0 +1,117 @@
+"""ASCII rendering of 2-D torus placements with highlighted links.
+
+Figure 1 of the paper shows a placement of three processors on
+:math:`T_3^2` with the links lying on the specified shortest paths
+highlighted.  :func:`render_placement_2d` reproduces that style in text:
+
+* ``[P]`` — a node with a processor; ``( )`` — a router-only node;
+* ``---`` / ``===`` — a (highlighted) horizontal link (dimension 1);
+* ``|`` / ``#`` — a (highlighted) vertical link (dimension 0);
+* wraparound links cannot be drawn inside the grid, so each highlighted
+  wraparound is listed below it.
+
+Directed edge pairs are collapsed: a link is highlighted when either
+direction is on a specified path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.minimal import AllMinimalPaths
+from repro.torus.topology import Torus
+
+__all__ = ["render_placement_2d", "render_figure1", "highlighted_edges"]
+
+
+def highlighted_edges(
+    placement: Placement, routing: RoutingAlgorithm
+) -> set[int]:
+    """Dense ids of every edge on any specified path between processors."""
+    torus = placement.torus
+    coords = placement.coords()
+    used: set[int] = set()
+    m = len(placement)
+    for i in range(m):
+        for j in range(m):
+            if i == j:
+                continue
+            for path in routing.paths(torus, coords[i], coords[j]):
+                used.update(path.edge_ids)
+    return used
+
+
+def render_placement_2d(
+    placement: Placement, highlight: set[int] | None = None
+) -> str:
+    """Render a 2-D placement as an ASCII grid (see module docstring)."""
+    torus = placement.torus
+    if torus.d != 2:
+        raise InvalidParameterError(
+            f"ASCII rendering is 2-D only; torus has d={torus.d}"
+        )
+    k = torus.k
+    highlight = highlight or set()
+    ei = torus.edges
+    mask = placement.mask()
+    coords = torus.all_node_coords()
+    node_of = {(int(r), int(c)): int(i) for i, (r, c) in enumerate(coords)}
+
+    def link_marked(u: int, dim: int, sign: int) -> bool:
+        eid = ei.edge_id(u, dim, sign)
+        return eid in highlight or ei.reverse(eid) in highlight
+
+    lines: list[str] = []
+    wrap_notes: list[str] = []
+    for r in range(k):
+        # node row: [P]---( )===...
+        cells = []
+        for c in range(k):
+            u = node_of[(r, c)]
+            cells.append("[P]" if mask[u] else "( )")
+            if c < k - 1:
+                cells.append("===" if link_marked(u, 1, +1) else "---")
+        lines.append("".join(cells))
+        u_last = node_of[(r, k - 1)]
+        if link_marked(u_last, 1, +1):
+            wrap_notes.append(f"row {r}: wraparound ({r},{k-1}) = ({r},0)")
+        # vertical link row
+        if r < k - 1:
+            seps = []
+            for c in range(k):
+                u = node_of[(r, c)]
+                seps.append(" # " if link_marked(u, 0, +1) else " | ")
+                if c < k - 1:
+                    seps.append("   ")
+            lines.append("".join(seps))
+    for c in range(k):
+        u = node_of[(k - 1, c)]
+        if link_marked(u, 0, +1):
+            wrap_notes.append(f"col {c}: wraparound ({k-1},{c}) = (0,{c})")
+    out = "\n".join(line.rstrip() for line in lines)
+    if wrap_notes:
+        out += "\nhighlighted wraparound links:\n  " + "\n  ".join(wrap_notes)
+    return out
+
+
+def render_figure1() -> str:
+    """Reproduce Fig. 1: three processors on :math:`T_3^2`, with the links
+    on the specified (all-minimal-path) routes highlighted.
+
+    The paper's figure uses the diagonal placement
+    ``{(0,0), (1,2), (2,1)}`` — the linear placement
+    :math:`p_1 + p_2 ≡ 0 \\pmod 3` — with all shortest paths specified.
+    """
+    torus = Torus(3, 2)
+    placement = linear_placement(torus, name="figure-1")
+    used = highlighted_edges(placement, AllMinimalPaths())
+    header = (
+        "Fig. 1 — placement of 3 processors on T_3^2 "
+        "(linear placement p1+p2 ≡ 0 mod 3)\n"
+        f"highlighted: {len(used)} directed links on specified shortest paths\n"
+    )
+    return header + render_placement_2d(placement, used)

@@ -1,0 +1,88 @@
+"""ASCII heat map of per-link loads on a 2-D torus.
+
+Renders the load of each undirected link (max of the two directions) as a
+single digit 0–9 scaled to the maximum, laid out in the same grid as
+:mod:`repro.viz.ascii_art`.  Makes the EXP-7 structure visible at a
+glance: under ODR the first-dimension (vertical) links glow hotter than
+the second-dimension ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.placements.base import Placement
+
+__all__ = ["render_load_map_2d"]
+
+
+def _level(value: float, max_value: float) -> str:
+    if max_value <= 0 or value <= 0:
+        return "."
+    return str(min(9, int(round(9 * value / max_value))))
+
+
+def render_load_map_2d(placement: Placement, loads: np.ndarray) -> str:
+    """Render a 2-D load heat map (see module docstring).
+
+    Node cells show ``[P]`` / ``( )``; between them the load digit of the
+    connecting link (0–9 relative to the global maximum, ``.`` for unused).
+    Wraparound links are listed below the grid.
+    """
+    torus = placement.torus
+    if torus.d != 2:
+        raise InvalidParameterError(
+            f"load map rendering is 2-D only; torus has d={torus.d}"
+        )
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.shape != (torus.num_edges,):
+        raise InvalidParameterError(
+            f"loads must have shape ({torus.num_edges},), got {loads.shape}"
+        )
+    k = torus.k
+    ei = torus.edges
+    mask = placement.mask()
+    peak = float(loads.max())
+
+    def link_load(u: int, dim: int) -> float:
+        fwd = loads[ei.edge_id(u, dim, +1)]
+        bwd = loads[ei.reverse(ei.edge_id(u, dim, +1))]
+        return float(max(fwd, bwd))
+
+    lines: list[str] = []
+    wrap_notes: list[str] = []
+    for r in range(k):
+        cells = []
+        for c in range(k):
+            u = torus.node_id((r, c))
+            cells.append("[P]" if mask[u] else "( )")
+            if c < k - 1:
+                cells.append(f"-{_level(link_load(u, 1), peak)}-")
+        lines.append("".join(cells))
+        u_last = torus.node_id((r, k - 1))
+        wrap = link_load(u_last, 1)
+        if wrap > 0:
+            wrap_notes.append(
+                f"row {r} wraparound: {_level(wrap, peak)} ({wrap:g})"
+            )
+        if r < k - 1:
+            seps = []
+            for c in range(k):
+                u = torus.node_id((r, c))
+                seps.append(f" {_level(link_load(u, 0), peak)} ")
+                if c < k - 1:
+                    seps.append("   ")
+            lines.append("".join(seps))
+    for c in range(k):
+        u = torus.node_id((k - 1, c))
+        wrap = link_load(u, 0)
+        if wrap > 0:
+            wrap_notes.append(
+                f"col {c} wraparound: {_level(wrap, peak)} ({wrap:g})"
+            )
+    out = "\n".join(lines)
+    out += f"\npeak link load: {peak:g}"
+    if wrap_notes:
+        out += "\nwraparound links:\n  " + "\n  ".join(wrap_notes)
+    return out

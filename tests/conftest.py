@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+@pytest.fixture
+def torus_4_2() -> Torus:
+    """A small even-radix 2-D torus."""
+    return Torus(4, 2)
+
+
+@pytest.fixture
+def torus_5_2() -> Torus:
+    """A small odd-radix 2-D torus (no half-ring ties)."""
+    return Torus(5, 2)
+
+
+@pytest.fixture
+def torus_4_3() -> Torus:
+    """A small 3-D torus."""
+    return Torus(4, 3)
+
+
+@pytest.fixture
+def torus_6_3() -> Torus:
+    """A mid-size 3-D torus for uniformity/bisection checks."""
+    return Torus(6, 3)
+
+
+@pytest.fixture
+def linear_4_2(torus_4_2: Torus):
+    """Linear placement on T_4^2."""
+    return linear_placement(torus_4_2)
+
+
+@pytest.fixture
+def linear_5_2(torus_5_2: Torus):
+    """Linear placement on T_5^2."""
+    return linear_placement(torus_5_2)
+
+
+@pytest.fixture
+def linear_4_3(torus_4_3: Torus):
+    """Linear placement on T_4^3."""
+    return linear_placement(torus_4_3)

@@ -1,0 +1,61 @@
+"""End-to-end integration: designer → analysis → every paper bound holds."""
+
+import pytest
+
+from repro import analyze, design_placement
+from repro.load import formulas
+from repro.placements.analysis import is_uniform
+
+
+CONFIGS = [
+    (4, 2, 1, "odr"),
+    (6, 2, 1, "udr"),
+    (6, 2, 2, "odr"),
+    (4, 3, 1, "odr"),
+    (4, 3, 1, "udr"),
+    (6, 3, 2, "udr"),
+    (3, 4, 1, "odr"),
+]
+
+
+class TestDesignAnalyzeLoop:
+    @pytest.mark.parametrize("k,d,t,routing", CONFIGS)
+    def test_full_pipeline(self, k, d, t, routing):
+        design = design_placement(k, d, t=t, routing=routing)
+        assert design.size == t * k ** (d - 1)
+        assert is_uniform(design.placement)
+
+        an = analyze(design.placement, design.routing)
+        # the design's predicted upper bound holds
+        assert an.emax <= design.predicted_emax_upper + 1e-9
+        # every lower bound in the report holds
+        assert an.emax >= an.bounds.best - 1e-9
+        # Theorem 1's bisection is stated (and proved) for even k: layer
+        # granularity k^(d-2) cannot split an odd placement within one
+        if k % 2 == 0:
+            assert an.dimension_cut_balanced
+        assert an.dimension_cut_width == formulas.theorem1_bisection_width(k, d)
+        # the Appendix cut respects Corollary 1
+        assert an.hyperplane_cut_width <= formulas.corollary1_bisection_bound(k, d)
+
+    @pytest.mark.parametrize("k,d,t,routing", CONFIGS)
+    def test_optimality_ratio_bounded(self, k, d, t, routing):
+        design = design_placement(k, d, t=t, routing=routing)
+        an = analyze(design.placement, design.routing)
+        # measured maximum within a small constant of the best lower bound
+        assert 1.0 - 1e-9 <= an.optimality_ratio <= 16.0
+
+
+class TestCrossRoutingConsistency:
+    @pytest.mark.parametrize("k,d", [(4, 2), (5, 2), (4, 3)])
+    def test_udr_never_worse_than_odr(self, k, d):
+        odr_design = design_placement(k, d, routing="odr")
+        udr_design = design_placement(k, d, routing="udr")
+        odr_an = analyze(odr_design.placement, odr_design.routing)
+        udr_an = analyze(udr_design.placement, udr_design.routing)
+        assert udr_an.emax <= odr_an.emax + 1e-9
+
+    def test_same_placement_under_both(self):
+        odr_design = design_placement(6, 2, routing="odr")
+        udr_design = design_placement(6, 2, routing="udr")
+        assert odr_design.placement == udr_design.placement

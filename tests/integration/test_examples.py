@@ -1,0 +1,40 @@
+"""Integration: every example script runs to completion.
+
+The examples are the public face of the library — each must execute
+end-to-end on a clean environment and produce its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "all bounds hold.",
+    "figure1.py": "[P]",
+    "fault_tolerant_routing.py": "simulated complete exchange",
+    "capacity_planning.py": "growth exponents",
+    "simulator_demo.py": "ODR is deterministic",
+    "placement_search.py": "empirical floor",
+    "mixed_radix_machine.py": "takeaway",
+}
+
+
+class TestExamples:
+    def test_every_example_has_an_expectation(self):
+        assert set(EXAMPLES) == set(EXPECTED_SNIPPETS)
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs(self, name):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert EXPECTED_SNIPPETS[name] in proc.stdout

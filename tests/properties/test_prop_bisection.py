@@ -1,0 +1,86 @@
+"""Property-based tests on the bisection machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bisection.dimension_cut import best_dimension_cut
+from repro.bisection.hyperplane import hyperplane_bisection
+from repro.bisection.separator import separator_edges, separator_size
+from repro.load.formulas import (
+    appendix_sweep_bound,
+    corollary1_bisection_bound,
+)
+from repro.placements.base import Placement
+from repro.torus.topology import Torus
+
+
+@st.composite
+def torus_and_subset(draw):
+    k = draw(st.integers(min_value=2, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=3))
+    torus = Torus(k, d)
+    size = draw(st.integers(min_value=1, max_value=min(10, torus.num_nodes)))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=torus.num_nodes - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    return torus, np.array(sorted(ids))
+
+
+class TestSeparator:
+    @settings(max_examples=40, deadline=None)
+    @given(torus_and_subset())
+    def test_complement_symmetry(self, data):
+        torus, ids = data
+        comp = np.setdiff1d(np.arange(torus.num_nodes), ids)
+        if comp.size == 0:
+            assert separator_size(torus, ids) == 0
+        else:
+            assert np.array_equal(
+                separator_edges(torus, ids), separator_edges(torus, comp)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(torus_and_subset())
+    def test_edges_actually_cross(self, data):
+        torus, ids = data
+        inside = set(ids.tolist())
+        for eid in separator_edges(torus, ids):
+            e = torus.edges.decode(int(eid))
+            assert (e.tail in inside) != (e.head in inside)
+
+    @settings(max_examples=40, deadline=None)
+    @given(torus_and_subset())
+    def test_size_bounded_by_degree_sum(self, data):
+        torus, ids = data
+        assert separator_size(torus, ids) <= ids.size * 4 * torus.d
+
+
+class TestBisections:
+    @settings(max_examples=30, deadline=None)
+    @given(torus_and_subset())
+    def test_hyperplane_balance_and_bounds(self, data):
+        torus, ids = data
+        placement = Placement(torus, ids)
+        sweep = hyperplane_bisection(placement)
+        assert abs(sweep.processors_a - sweep.processors_b) <= 1
+        assert sweep.array_edges_crossed <= appendix_sweep_bound(torus.k, torus.d)
+        assert sweep.torus_cut_size <= corollary1_bisection_bound(
+            torus.k, torus.d
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(torus_and_subset())
+    def test_dimension_cut_size_is_theorem1(self, data):
+        torus, ids = data
+        placement = Placement(torus, ids)
+        cut = best_dimension_cut(placement)
+        assert cut.cut_size == 4 * torus.k ** (torus.d - 1)
+        # two-cut construction balance is within one whenever any dimension
+        # admits a balanced band; always within the placement size
+        assert 0 <= cut.imbalance <= len(placement)

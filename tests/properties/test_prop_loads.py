@@ -1,0 +1,98 @@
+"""Property-based tests on the load analyses.
+
+The central conservation law: for any minimal routing, total edge load
+equals the sum of Lee distances over all ordered pairs — every message
+contributes exactly its path length, and the fractional weights per pair
+sum to 1.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.base import Placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+@st.composite
+def random_small_placement(draw, max_nodes=64):
+    k = draw(st.integers(min_value=2, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=3))
+    torus = Torus(k, d)
+    n = min(torus.num_nodes, max_nodes)
+    size = draw(st.integers(min_value=2, max_value=min(8, n)))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=torus.num_nodes - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    return Placement(torus, ids, name="hypothesis")
+
+
+def _total_lee(placement: Placement) -> float:
+    coords = placement.coords()
+    m = len(placement)
+    idx = np.arange(m)
+    pi, qi = np.meshgrid(idx, idx, indexing="ij")
+    keep = pi != qi
+    return float(
+        placement.torus.lee_distances_array(
+            coords[pi[keep]], coords[qi[keep]]
+        ).sum()
+    )
+
+
+class TestConservation:
+    @settings(max_examples=50, deadline=None)
+    @given(random_small_placement())
+    def test_odr_total(self, placement):
+        assert odr_edge_loads(placement).sum() == _total_lee(placement)
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_small_placement())
+    def test_udr_total(self, placement):
+        assert np.isclose(udr_edge_loads(placement).sum(), _total_lee(placement))
+
+
+class TestVectorizedVsOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(random_small_placement())
+    def test_odr_matches_reference(self, placement):
+        fast = odr_edge_loads(placement)
+        slow = edge_loads_reference(
+            placement, OrderedDimensionalRouting(placement.torus.d)
+        )
+        assert np.allclose(fast, slow)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_small_placement())
+    def test_udr_matches_reference(self, placement):
+        fast = udr_edge_loads(placement)
+        slow = edge_loads_reference(placement, UnorderedDimensionalRouting())
+        assert np.allclose(fast, slow)
+
+
+class TestDominance:
+    @settings(max_examples=30, deadline=None)
+    @given(random_small_placement())
+    def test_loads_nonnegative(self, placement):
+        assert np.all(odr_edge_loads(placement) >= 0)
+        assert np.all(udr_edge_loads(placement) >= 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_small_placement())
+    def test_lemma1_singleton_bound_holds(self, placement):
+        # Eq. (6) is routing-independent: check it against both algorithms
+        from repro.load.formulas import blaum_lower_bound
+
+        bound = blaum_lower_bound(len(placement), placement.torus.d)
+        assert odr_edge_loads(placement).max() >= bound - 1e-9
+        assert udr_edge_loads(placement).max() >= bound - 1e-9

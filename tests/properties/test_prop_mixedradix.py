@@ -1,0 +1,106 @@
+"""Property-based tests on the mixed-radix generalization."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mixedradix import (
+    MixedPlacement,
+    MixedTorus,
+    lcm_linear_placement,
+    mixed_dimension_cut,
+    mixed_linear_placement,
+    mixed_odr_edge_loads,
+)
+
+shapes = st.lists(
+    st.integers(min_value=2, max_value=6), min_size=1, max_size=3
+).map(tuple).filter(lambda s: int(np.prod(s)) <= 200)
+
+
+class TestTorusStructure:
+    @given(shapes, st.integers(min_value=0, max_value=10**6))
+    def test_coord_roundtrip(self, shape, seed):
+        t = MixedTorus(shape)
+        nid = seed % t.num_nodes
+        assert int(t.node_ids(t.coords([nid]))[0]) == nid
+
+    @given(shapes, st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=0, max_value=10**6))
+    def test_lee_distance_symmetric(self, shape, s1, s2):
+        t = MixedTorus(shape)
+        u = t.coords([s1 % t.num_nodes])[0]
+        v = t.coords([s2 % t.num_nodes])[0]
+        assert t.lee_distance(u, v) == t.lee_distance(v, u)
+
+    @given(shapes, st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=0, max_value=10**6))
+    def test_corrections_reach_target(self, shape, s1, s2):
+        t = MixedTorus(shape)
+        u = t.coords([s1 % t.num_nodes])
+        v = t.coords([s2 % t.num_nodes])
+        delta = t.minimal_corrections(u, v)
+        assert np.all(np.mod(u + delta, t.radii) == v)
+
+
+class TestPlacementLaws:
+    @given(shapes, st.integers(min_value=0, max_value=8))
+    def test_gcd_placement_size_and_uniformity(self, shape, offset):
+        g = math.gcd(*shape)
+        assume(g >= 2)
+        t = MixedTorus(shape)
+        p = mixed_linear_placement(t, offset=offset)
+        assert len(p) == t.num_nodes // g
+        # uniformity needs d >= 2 (each subtorus gets |P|/k_i processors;
+        # for d = 1 the placement is a fraction of a single ring)
+        if t.d >= 2:
+            assert p.is_uniform()
+
+    @given(shapes, st.integers(min_value=0, max_value=8))
+    def test_lcm_placement_size(self, shape, offset):
+        t = MixedTorus(shape)
+        L = math.lcm(*shape)
+        p = lcm_linear_placement(t, offset=offset)
+        assert len(p) == t.num_nodes // L
+
+
+class TestLoadsAndCuts:
+    @settings(max_examples=30, deadline=None)
+    @given(shapes, st.data())
+    def test_conservation(self, shape, data):
+        t = MixedTorus(shape)
+        size = data.draw(
+            st.integers(min_value=2, max_value=min(6, t.num_nodes))
+        )
+        ids = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=t.num_nodes - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        p = MixedPlacement(t, ids)
+        loads = mixed_odr_edge_loads(p)
+        coords = p.coords()
+        m = len(p)
+        lee = sum(
+            t.lee_distance(coords[i], coords[j])
+            for i in range(m)
+            for j in range(m)
+            if i != j
+        )
+        assert loads.sum() == lee
+
+    @settings(max_examples=30, deadline=None)
+    @given(shapes)
+    def test_cut_size_is_four_cross_sections(self, shape):
+        g = math.gcd(*shape)
+        assume(g >= 2)
+        t = MixedTorus(shape)
+        p = mixed_linear_placement(t)
+        for dim in range(t.d):
+            cut = mixed_dimension_cut(p, dim)
+            assert cut.cut_size == 4 * t.num_nodes // shape[dim]

@@ -1,0 +1,101 @@
+"""Property-based tests: cyclic and Lee distance are metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.modular import cyclic_distance, lee_distance, minimal_correction
+
+ks = st.integers(min_value=2, max_value=64)
+
+
+@st.composite
+def ring_pair(draw):
+    k = draw(ks)
+    i = draw(st.integers(min_value=0, max_value=k - 1))
+    j = draw(st.integers(min_value=0, max_value=k - 1))
+    return k, i, j
+
+
+@st.composite
+def ring_triple(draw):
+    k = draw(ks)
+    vals = [draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(3)]
+    return (k, *vals)
+
+
+class TestCyclicDistanceMetric:
+    @given(ring_pair())
+    def test_nonnegative_and_bounded(self, data):
+        k, i, j = data
+        d = cyclic_distance(i, j, k)
+        assert 0 <= d <= k // 2
+
+    @given(ring_pair())
+    def test_symmetry(self, data):
+        k, i, j = data
+        assert cyclic_distance(i, j, k) == cyclic_distance(j, i, k)
+
+    @given(ring_pair())
+    def test_identity(self, data):
+        k, i, j = data
+        assert (cyclic_distance(i, j, k) == 0) == (i == j)
+
+    @given(ring_triple())
+    def test_triangle_inequality(self, data):
+        k, a, b, c = data
+        assert cyclic_distance(a, c, k) <= (
+            cyclic_distance(a, b, k) + cyclic_distance(b, c, k)
+        )
+
+    @given(ring_pair(), st.integers(min_value=-3, max_value=3))
+    def test_translation_invariance(self, data, shift):
+        k, i, j = data
+        assert cyclic_distance(i, j, k) == cyclic_distance(
+            (i + shift) % k, (j + shift) % k, k
+        )
+
+
+@st.composite
+def torus_pair(draw):
+    k = draw(st.integers(min_value=2, max_value=16))
+    d = draw(st.integers(min_value=1, max_value=5))
+    p = tuple(draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(d))
+    q = tuple(draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(d))
+    return k, p, q
+
+
+class TestLeeDistanceMetric:
+    @given(torus_pair())
+    def test_symmetry(self, data):
+        k, p, q = data
+        assert lee_distance(p, q, k) == lee_distance(q, p, k)
+
+    @given(torus_pair())
+    def test_identity(self, data):
+        k, p, q = data
+        assert (lee_distance(p, q, k) == 0) == (p == q)
+
+    @given(torus_pair())
+    def test_bounded_by_diameter(self, data):
+        k, p, q = data
+        assert lee_distance(p, q, k) <= len(p) * (k // 2)
+
+
+class TestMinimalCorrection:
+    @given(ring_pair())
+    def test_reaches_target(self, data):
+        k, i, j = data
+        delta, _ = minimal_correction(i, j, k)
+        assert (i + delta) % k == j
+
+    @given(ring_pair())
+    def test_magnitude_is_cyclic_distance(self, data):
+        k, i, j = data
+        delta, _ = minimal_correction(i, j, k)
+        assert abs(delta) == cyclic_distance(i, j, k)
+
+    @given(ring_pair())
+    def test_tie_only_at_half_ring(self, data):
+        k, i, j = data
+        _, tied = minimal_correction(i, j, k)
+        assert tied == (k % 2 == 0 and (j - i) % k == k // 2)

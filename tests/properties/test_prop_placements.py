@@ -1,0 +1,70 @@
+"""Property-based tests on placement families."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.placements.analysis import is_uniform, layer_counts
+from repro.placements.linear import linear_placement, solve_linear_congruence
+from repro.placements.multiple import multiple_linear_placement
+from repro.torus.topology import Torus
+
+small_params = st.tuples(
+    st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=3)
+).filter(lambda kd: kd[0] ** kd[1] <= 600)
+
+
+class TestLinearPlacements:
+    @given(small_params, st.integers(min_value=0, max_value=20))
+    def test_size_law(self, kd, offset):
+        k, d = kd
+        p = linear_placement(Torus(k, d), offset=offset)
+        assert len(p) == k ** (d - 1)
+
+    @given(small_params, st.integers(min_value=0, max_value=20))
+    def test_membership_equation(self, kd, offset):
+        k, d = kd
+        p = linear_placement(Torus(k, d), offset=offset)
+        assert np.all(p.coords().sum(axis=1) % k == offset % k)
+
+    @given(small_params)
+    def test_uniform(self, kd):
+        k, d = kd
+        assume(d >= 2)
+        p = linear_placement(Torus(k, d))
+        assert is_uniform(p)
+        # exactly k^(d-2) per principal subtorus (Sec. 5)
+        for dim in range(d):
+            assert np.all(layer_counts(p, dim) == k ** (d - 2))
+
+    @given(
+        small_params,
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_general_coefficients(self, kd, coeff, offset):
+        k, d = kd
+        assume(math.gcd(coeff, k) == 1)
+        coeffs = [coeff] + [1] * (d - 1)
+        coords = solve_linear_congruence(k, d, coeffs, offset)
+        assert coords.shape[0] == k ** (d - 1)
+        assert np.all((coords @ np.array(coeffs)) % k == offset % k)
+
+
+class TestMultipleLinear:
+    @given(small_params, st.integers(min_value=1, max_value=4))
+    def test_size_law(self, kd, t):
+        k, d = kd
+        assume(t <= k)
+        p = multiple_linear_placement(Torus(k, d), t)
+        assert len(p) == t * k ** (d - 1)
+
+    @given(small_params, st.integers(min_value=1, max_value=4))
+    def test_classes_cover_consecutive_residues(self, kd, t):
+        k, d = kd
+        assume(t <= k)
+        p = multiple_linear_placement(Torus(k, d), t)
+        sums = set((p.coords().sum(axis=1) % k).tolist())
+        assert sums == set(range(t))

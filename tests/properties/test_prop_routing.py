@@ -1,0 +1,96 @@
+"""Property-based tests on the routing algorithms.
+
+Invariants from the paper: every path the algorithms return is a
+*shortest* path (Definition 3), ODR returns exactly one canonical path,
+UDR returns exactly s!, and the full relation's count matches the
+multinomial closed form.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.minimal import AllMinimalPaths, count_minimal_paths
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+@st.composite
+def torus_and_pair(draw, max_k=7, max_d=3):
+    k = draw(st.integers(min_value=2, max_value=max_k))
+    d = draw(st.integers(min_value=1, max_value=max_d))
+    p = tuple(draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(d))
+    q = tuple(draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(d))
+    return Torus(k, d), p, q
+
+
+class TestODR:
+    @given(torus_and_pair())
+    def test_single_minimal_path(self, data):
+        torus, p, q = data
+        odr = OrderedDimensionalRouting(torus.d)
+        paths = odr.paths(torus, p, q)
+        assert len(paths) == 1
+        assert paths[0].length == torus.lee_distance(p, q)
+
+    @given(torus_and_pair())
+    def test_endpoints(self, data):
+        torus, p, q = data
+        path = OrderedDimensionalRouting(torus.d).path(torus, p, q)
+        assert path.source == torus.node_id(p)
+        assert path.destination == torus.node_id(q)
+
+    @given(torus_and_pair())
+    def test_dimension_monotone(self, data):
+        torus, p, q = data
+        path = OrderedDimensionalRouting(torus.d).path(torus, p, q)
+        dims = [torus.edges.decode(e).dim for e in path.edge_ids]
+        assert dims == sorted(dims)
+
+
+class TestUDR:
+    @given(torus_and_pair())
+    def test_s_factorial_paths(self, data):
+        torus, p, q = data
+        udr = UnorderedDimensionalRouting()
+        s = len(udr.differing_dims(torus, p, q))
+        paths = udr.paths(torus, p, q)
+        assert len(paths) == max(1, math.factorial(s))
+        assert udr.num_paths(torus, p, q) == math.factorial(s)
+
+    @given(torus_and_pair())
+    def test_all_paths_minimal_and_distinct(self, data):
+        torus, p, q = data
+        udr = UnorderedDimensionalRouting()
+        paths = udr.paths(torus, p, q)
+        lee = torus.lee_distance(p, q)
+        assert all(path.length == lee for path in paths)
+        assert len({path.nodes for path in paths}) == len(paths)
+
+
+class TestAllMinimal:
+    @settings(max_examples=40, deadline=None)
+    @given(torus_and_pair(max_k=5, max_d=2))
+    def test_count_matches_enumeration(self, data):
+        torus, p, q = data
+        algo = AllMinimalPaths()
+        paths = algo.paths(torus, p, q)
+        assert len(paths) == count_minimal_paths(torus, p, q)
+        # distinctness is per directed-link sequence: on k = 2 the tied +/−
+        # directions visit the same nodes over distinct parallel links
+        assert len({path.edge_ids for path in paths}) == len(paths)
+
+    @settings(max_examples=40, deadline=None)
+    @given(torus_and_pair(max_k=5, max_d=2))
+    def test_udr_subset_of_all_minimal(self, data):
+        torus, p, q = data
+        all_nodes = {
+            path.nodes for path in AllMinimalPaths().paths(torus, p, q)
+        }
+        udr_nodes = {
+            path.nodes
+            for path in UnorderedDimensionalRouting().paths(torus, p, q)
+        }
+        assert udr_nodes <= all_nodes

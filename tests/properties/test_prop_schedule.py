@@ -1,0 +1,63 @@
+"""Property-based tests on the greedy phase scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placements.base import Placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.schedule.greedy import greedy_phase_schedule
+from repro.torus.topology import Torus
+
+
+@st.composite
+def schedule_scenario(draw):
+    k = draw(st.integers(min_value=3, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=2))
+    torus = Torus(k, d)
+    size = draw(st.integers(min_value=2, max_value=min(6, torus.num_nodes)))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=torus.num_nodes - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    udr = draw(st.booleans())
+    return Placement(torus, ids), seed, udr
+
+
+def _routing(torus, udr):
+    return UnorderedDimensionalRouting() if udr else OrderedDimensionalRouting(torus.d)
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(schedule_scenario())
+    def test_valid_and_complete(self, scenario):
+        placement, seed, udr = scenario
+        sched = greedy_phase_schedule(
+            placement, _routing(placement.torus, udr), seed=seed
+        )
+        assert sched.validate()
+        assert sched.num_messages == len(placement) * (len(placement) - 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule_scenario())
+    def test_phases_at_least_bandwidth_bound(self, scenario):
+        placement, seed, udr = scenario
+        sched = greedy_phase_schedule(
+            placement, _routing(placement.torus, udr), seed=seed
+        )
+        assert sched.num_phases >= sched.lower_bound
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule_scenario())
+    def test_no_empty_phases(self, scenario):
+        placement, seed, udr = scenario
+        sched = greedy_phase_schedule(
+            placement, _routing(placement.torus, udr), seed=seed
+        )
+        assert all(len(phase) > 0 for phase in sched.phases)

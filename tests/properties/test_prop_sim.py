@@ -1,0 +1,77 @@
+"""Property-based tests on the packet simulator.
+
+Invariants: everything is delivered; per-packet latency is at least the
+path length; total link traversals equal total hops; and for ODR the link
+counters equal the analytic loads for any placement.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.base import Placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.sim.engine import CycleEngine
+from repro.sim.network import SimNetwork
+from repro.sim.workloads import complete_exchange_packets
+from repro.torus.topology import Torus
+
+
+@st.composite
+def sim_scenario(draw):
+    k = draw(st.integers(min_value=2, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=2))
+    torus = Torus(k, d)
+    size = draw(st.integers(min_value=2, max_value=min(6, torus.num_nodes)))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=torus.num_nodes - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return Placement(torus, ids), seed
+
+
+class TestSimInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(sim_scenario())
+    def test_everything_delivered(self, scenario):
+        placement, seed = scenario
+        routing = OrderedDimensionalRouting(placement.torus.d)
+        packets = complete_exchange_packets(placement, routing, seed=seed)
+        result = CycleEngine(SimNetwork(placement.torus)).run(packets)
+        assert result.delivered == len(packets)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sim_scenario())
+    def test_latency_at_least_path_length(self, scenario):
+        placement, seed = scenario
+        routing = OrderedDimensionalRouting(placement.torus.d)
+        packets = complete_exchange_packets(placement, routing, seed=seed)
+        CycleEngine(SimNetwork(placement.torus)).run(packets)
+        for p in packets:
+            assert p.latency >= p.path_length
+
+    @settings(max_examples=30, deadline=None)
+    @given(sim_scenario())
+    def test_total_traversals_equal_total_hops(self, scenario):
+        placement, seed = scenario
+        routing = OrderedDimensionalRouting(placement.torus.d)
+        packets = complete_exchange_packets(placement, routing, seed=seed)
+        result = CycleEngine(SimNetwork(placement.torus)).run(packets)
+        assert result.link_counts.sum() == sum(p.path_length for p in packets)
+
+    @settings(max_examples=20, deadline=None)
+    @given(sim_scenario())
+    def test_odr_counters_equal_analytic(self, scenario):
+        placement, seed = scenario
+        routing = OrderedDimensionalRouting(placement.torus.d)
+        packets = complete_exchange_packets(placement, routing, seed=seed)
+        result = CycleEngine(SimNetwork(placement.torus)).run(packets)
+        assert np.allclose(
+            result.link_counts.astype(float), odr_edge_loads(placement)
+        )

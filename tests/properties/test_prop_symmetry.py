@@ -1,0 +1,64 @@
+"""Property-based tests: torus automorphisms preserve the load profile."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.base import Placement
+from repro.placements.symmetry import (
+    permute_dimensions,
+    reflect_dimensions,
+    translate_placement,
+)
+from repro.torus.topology import Torus
+
+
+@st.composite
+def placement_and_transform(draw):
+    k = draw(st.integers(min_value=2, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=3))
+    torus = Torus(k, d)
+    size = draw(st.integers(min_value=2, max_value=min(6, torus.num_nodes)))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=torus.num_nodes - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    offset = [draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(d)]
+    perm = draw(st.permutations(list(range(d))))
+    return Placement(torus, ids), offset, list(perm)
+
+
+class TestAutomorphismInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(placement_and_transform())
+    def test_translation_preserves_odr_load_multiset(self, data):
+        placement, offset, _perm = data
+        moved = translate_placement(placement, offset)
+        assert np.allclose(
+            np.sort(odr_edge_loads(placement)), np.sort(odr_edge_loads(moved))
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(placement_and_transform())
+    def test_permutation_preserves_udr_load_multiset(self, data):
+        placement, _offset, perm = data
+        moved = permute_dimensions(placement, perm)
+        # sorted comparison with tolerance: the fractional |A|!|B|!/s! sums
+        # accumulate in different orders under the permutation
+        assert np.allclose(
+            np.sort(udr_edge_loads(placement)), np.sort(udr_edge_loads(moved))
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(placement_and_transform())
+    def test_transforms_preserve_size(self, data):
+        placement, offset, perm = data
+        assert len(translate_placement(placement, offset)) == len(placement)
+        assert len(permute_dimensions(placement, perm)) == len(placement)
+        assert len(reflect_dimensions(placement, [0])) == len(placement)

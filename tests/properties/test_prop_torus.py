@@ -1,0 +1,57 @@
+"""Property-based tests on the torus substrate."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.torus.graph import to_networkx
+from repro.torus.topology import Torus
+
+small_torus = st.tuples(
+    st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=3)
+).filter(lambda kd: kd[0] ** kd[1] <= 300)
+
+
+class TestStructure:
+    @given(small_torus)
+    def test_edge_count(self, kd):
+        t = Torus(*kd)
+        assert t.num_edges == 2 * t.d * t.num_nodes
+
+    @given(small_torus, st.integers(min_value=0, max_value=10**6))
+    def test_id_coord_roundtrip(self, kd, seed):
+        t = Torus(*kd)
+        nid = seed % t.num_nodes
+        assert t.node_id(t.coord(nid)) == nid
+
+    @given(small_torus, st.integers(min_value=0, max_value=10**6))
+    def test_neighbors_at_distance_one(self, kd, seed):
+        t = Torus(*kd)
+        nid = seed % t.num_nodes
+        for v in t.neighbors(nid):
+            assert t.lee_distance_ids(nid, v) == 1
+
+    @given(small_torus, st.integers(min_value=0, max_value=10**6))
+    def test_edge_reverse_is_involution(self, kd, seed):
+        t = Torus(*kd)
+        eid = seed % t.num_edges
+        assert t.edges.reverse(t.edges.reverse(eid)) == eid
+
+
+class TestDistanceVsGraph:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(min_value=2, max_value=5),
+            st.integers(min_value=1, max_value=2),
+        ),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_lee_equals_shortest_path(self, kd, s1, s2):
+        t = Torus(*kd)
+        g = to_networkx(t)
+        u = s1 % t.num_nodes
+        v = s2 % t.num_nodes
+        assert t.lee_distance_ids(u, v) == nx.shortest_path_length(g, u, v)

@@ -1,0 +1,97 @@
+"""Property-based tests on the wormhole engine.
+
+Invariants: dateline dimension-order routing never deadlocks (every run
+completes), per-flit latency is at least ``hops + flits - 1``, link flit
+counters total exactly ``flits × total hops``, and VC assignments are
+monotone within a dimension (once on VC1, stay on VC1 until the dimension
+changes).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placements.base import Placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.sim.workloads import complete_exchange_packets
+from repro.sim.wormhole import (
+    WormholeConfig,
+    WormholeEngine,
+    assign_virtual_channels,
+)
+from repro.torus.topology import Torus
+
+
+@st.composite
+def wormhole_scenario(draw):
+    k = draw(st.integers(min_value=3, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=2))
+    torus = Torus(k, d)
+    size = draw(st.integers(min_value=2, max_value=min(5, torus.num_nodes)))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=torus.num_nodes - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    flits = draw(st.integers(min_value=1, max_value=4))
+    buffers = draw(st.integers(min_value=1, max_value=3))
+    return Placement(torus, ids), WormholeConfig(flits, buffers)
+
+
+class TestWormholeInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(wormhole_scenario())
+    def test_deadlock_free_completion(self, scenario):
+        placement, cfg = scenario
+        torus = placement.torus
+        packets = complete_exchange_packets(
+            placement, OrderedDimensionalRouting(torus.d), seed=0
+        )
+        res = WormholeEngine(torus, cfg, max_cycles=100_000).run(packets)
+        assert res.delivered == len(packets)
+
+    @settings(max_examples=30, deadline=None)
+    @given(wormhole_scenario())
+    def test_latency_floor(self, scenario):
+        placement, cfg = scenario
+        torus = placement.torus
+        packets = complete_exchange_packets(
+            placement, OrderedDimensionalRouting(torus.d), seed=0
+        )
+        WormholeEngine(torus, cfg, max_cycles=100_000).run(packets)
+        for p in packets:
+            if p.path_length:
+                assert p.latency >= p.path_length + cfg.flits_per_packet - 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(wormhole_scenario())
+    def test_flit_conservation(self, scenario):
+        placement, cfg = scenario
+        torus = placement.torus
+        packets = complete_exchange_packets(
+            placement, OrderedDimensionalRouting(torus.d), seed=0
+        )
+        res = WormholeEngine(torus, cfg, max_cycles=100_000).run(packets)
+        total_hops = sum(p.path_length for p in packets)
+        assert res.link_flit_counts.sum() == total_hops * cfg.flits_per_packet
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_vc_monotone_within_dimension(self, k, d, s1, s2):
+        torus = Torus(k, d)
+        u = torus.coord(s1 % torus.num_nodes)
+        v = torus.coord(s2 % torus.num_nodes)
+        path = OrderedDimensionalRouting(d).path(torus, u, v)
+        vcs = assign_virtual_channels(torus, path.edge_ids)
+        dims = [torus.edges.decode(e).dim for e in path.edge_ids]
+        for i in range(1, len(vcs)):
+            if dims[i] == dims[i - 1]:
+                assert vcs[i] >= vcs[i - 1]

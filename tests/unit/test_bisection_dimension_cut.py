@@ -1,0 +1,100 @@
+"""Unit tests for repro.bisection.dimension_cut (Theorem 1)."""
+
+import pytest
+
+from repro.bisection.dimension_cut import (
+    best_dimension_cut,
+    dimension_cut_bisection,
+)
+from repro.errors import BisectionError
+from repro.placements.base import Placement
+from repro.placements.fully import single_subtorus_placement
+from repro.placements.linear import linear_placement
+from repro.placements.multiple import multiple_linear_placement
+from repro.torus.topology import Torus
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("k,d", [(4, 2), (6, 2), (4, 3), (6, 3)])
+    def test_uniform_placement_exact(self, k, d):
+        p = linear_placement(Torus(k, d))
+        cut = dimension_cut_bisection(p)
+        assert cut.cut_size == 4 * k ** (d - 1)
+        assert cut.imbalance == 0
+
+    def test_multiple_linear(self):
+        p = multiple_linear_placement(Torus(6, 2), 2)
+        cut = dimension_cut_bisection(p)
+        assert cut.imbalance == 0
+        assert cut.cut_size == 4 * 6
+
+    def test_antipodal_for_uniform_even(self):
+        p = linear_placement(Torus(8, 2))
+        cut = dimension_cut_bisection(p)
+        b1, b2 = cut.boundaries
+        assert (b2 - b1) % 8 == 4 or (b1 - b2) % 8 == 4
+
+    def test_cut_edges_cross_boundaries(self):
+        p = linear_placement(Torus(4, 2))
+        cut = dimension_cut_bisection(p, dim=0)
+        b1, b2 = cut.boundaries
+        for eid in cut.cut_edge_ids:
+            e = p.torus.edges.decode(int(eid))
+            layers = {
+                p.torus.coord(e.tail)[0],
+                p.torus.coord(e.head)[0],
+            }
+            assert layers in (
+                {b1, (b1 + 1) % 4},
+                {b2, (b2 + 1) % 4},
+            )
+
+    def test_side_layers_consistent(self):
+        p = linear_placement(Torus(6, 2))
+        cut = dimension_cut_bisection(p, dim=0)
+        from repro.placements.analysis import layer_counts
+
+        counts = layer_counts(p, 0)
+        inside = sum(int(counts[v]) for v in cut.side_a_layers)
+        assert inside == cut.processors_a
+
+
+class TestExplicitBoundaries:
+    def test_explicit(self):
+        p = linear_placement(Torus(6, 2))
+        cut = dimension_cut_bisection(p, dim=0, boundaries=(0, 3))
+        assert cut.boundaries == (0, 3)
+        assert cut.imbalance == 0
+
+    def test_same_boundary_rejected(self):
+        p = linear_placement(Torus(6, 2))
+        with pytest.raises(BisectionError):
+            dimension_cut_bisection(p, boundaries=(2, 2))
+
+    def test_unbalanced_choice_reported(self):
+        p = linear_placement(Torus(6, 2))
+        cut = dimension_cut_bisection(p, dim=0, boundaries=(0, 1))
+        assert cut.processors_a == 1
+        assert not cut.is_balanced
+
+
+class TestBestDimensionCut:
+    def test_single_dim_uniformity_suffices(self, torus_4_2):
+        # uniform along dim 1 only (all processors in row 0)
+        ids = torus_4_2.node_ids([(0, j) for j in range(4)])
+        p = Placement(torus_4_2, ids)
+        cut = best_dimension_cut(p)
+        assert cut.dim == 1
+        assert cut.imbalance == 0
+
+    def test_worst_case_subtorus_placement(self, torus_4_3):
+        # all processors in one layer of dim 0: still balanced via dims 1, 2
+        p = single_subtorus_placement(torus_4_3, dim=0)
+        cut = best_dimension_cut(p)
+        assert cut.dim in (1, 2)
+        assert cut.imbalance == 0
+
+    def test_odd_size_within_one(self, torus_4_2):
+        p = Placement(torus_4_2, [0, 5, 10])
+        cut = best_dimension_cut(p)
+        assert cut.imbalance <= 1

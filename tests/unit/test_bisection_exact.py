@@ -1,0 +1,47 @@
+"""Unit tests for repro.bisection.exact."""
+
+import pytest
+
+from repro.bisection.dimension_cut import best_dimension_cut
+from repro.bisection.exact import MAX_EXACT_NODES, exact_bisection_width
+from repro.bisection.hyperplane import hyperplane_bisection
+from repro.errors import BisectionError
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+class TestExactWidth:
+    def test_linear_t42_matches_theorem1(self):
+        p = linear_placement(Torus(4, 2))
+        assert exact_bisection_width(p) == 16  # 4k^(d-1)
+
+    def test_linear_t32(self):
+        p = linear_placement(Torus(3, 2))
+        width = exact_bisection_width(p)
+        # constructions are upper bounds on the exact width
+        assert width <= best_dimension_cut(p).cut_size
+        assert width <= hyperplane_bisection(p).torus_cut_size
+
+    def test_two_adjacent_processors(self):
+        torus = Torus(3, 2)
+        p = Placement(torus, [0, 1])
+        # separating two adjacent processors optimally: the true width is
+        # bounded by each node's degree (4d directed edges)
+        width = exact_bisection_width(p)
+        assert 2 <= width <= 12
+
+    def test_single_processor(self):
+        torus = Torus(3, 2)
+        p = Placement(torus, [4])
+        # halves are {0, 1}: an empty side is allowed; cutting nothing
+        # cannot work because the node set must be split... the minimum
+        # is the smallest balanced node partition cut
+        width = exact_bisection_width(p)
+        assert width >= 1
+
+    def test_too_large_rejected(self):
+        p = linear_placement(Torus(5, 2))
+        assert 25 > MAX_EXACT_NODES
+        with pytest.raises(BisectionError):
+            exact_bisection_width(p)

@@ -1,0 +1,42 @@
+"""Unit tests for repro.bisection.heuristics."""
+
+import pytest
+
+from repro.bisection.heuristics import spectral_bisection
+from repro.load.formulas import corollary1_bisection_bound
+from repro.placements.fully import block_placement
+from repro.placements.linear import linear_placement
+from repro.placements.random_placement import random_placement
+from repro.torus.topology import Torus
+
+
+class TestSpectralBisection:
+    def test_balanced_on_linear(self):
+        p = linear_placement(Torus(6, 2))
+        res = spectral_bisection(p)
+        assert res.is_balanced
+
+    def test_balanced_on_random(self):
+        p = random_placement(Torus(4, 3), 20, seed=3)
+        assert spectral_bisection(p).is_balanced
+
+    def test_cut_edges_cross(self):
+        p = linear_placement(Torus(6, 2))
+        res = spectral_bisection(p)
+        side_a = set(res.side_a_node_ids.tolist())
+        for eid in res.cut_edge_ids:
+            e = p.torus.edges.decode(int(eid))
+            assert (e.tail in side_a) != (e.head in side_a)
+
+    def test_deterministic(self):
+        p = block_placement(Torus(6, 2), 3)
+        a = spectral_bisection(p, seed=0)
+        b = spectral_bisection(p, seed=0)
+        assert a.cut_size == b.cut_size
+        assert (a.side_a_node_ids == b.side_a_node_ids).all()
+
+    def test_reasonable_cut_size(self):
+        # heuristic quality: stays within the Corollary 1 regime x a margin
+        p = linear_placement(Torus(6, 2))
+        res = spectral_bisection(p)
+        assert res.cut_size <= 2 * corollary1_bisection_bound(6, 2)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.bisection.hyperplane (the Appendix algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.bisection.hyperplane import hyperplane_bisection
+from repro.load.formulas import appendix_sweep_bound, corollary1_bisection_bound
+from repro.placements.base import Placement
+from repro.placements.fully import block_placement, fully_populated_placement
+from repro.placements.linear import linear_placement
+from repro.placements.random_placement import random_placement
+from repro.torus.topology import Torus
+
+
+class TestBalance:
+    @pytest.mark.parametrize("k,d", [(4, 2), (5, 2), (4, 3), (6, 3)])
+    def test_linear_placements(self, k, d):
+        p = linear_placement(Torus(k, d))
+        sweep = hyperplane_bisection(p)
+        assert sweep.is_balanced
+        assert sweep.processors_a + sweep.processors_b == len(p)
+
+    def test_odd_placement_size(self, torus_5_2):
+        p = Placement(torus_5_2, [0, 7, 13])
+        sweep = hyperplane_bisection(p)
+        assert {sweep.processors_a, sweep.processors_b} == {1, 2}
+
+    def test_single_processor(self, torus_4_2):
+        p = Placement(torus_4_2, [5])
+        sweep = hyperplane_bisection(p)
+        assert {sweep.processors_a, sweep.processors_b} == {0, 1}
+
+    def test_random_and_block(self, torus_4_3):
+        for p in (
+            random_placement(torus_4_3, 21, seed=0),
+            block_placement(torus_4_3, 2),
+        ):
+            assert hyperplane_bisection(p).is_balanced
+
+
+class TestBounds:
+    @pytest.mark.parametrize("k,d", [(4, 2), (6, 2), (4, 3), (5, 3)])
+    def test_appendix_crossing_bound(self, k, d):
+        p = fully_populated_placement(Torus(k, d))
+        sweep = hyperplane_bisection(p)
+        assert sweep.array_edges_crossed <= appendix_sweep_bound(k, d)
+
+    @pytest.mark.parametrize("k,d", [(4, 2), (6, 2), (4, 3)])
+    def test_corollary1_torus_cut(self, k, d):
+        for placement in (
+            linear_placement(Torus(k, d)),
+            random_placement(Torus(k, d), k ** (d - 1), seed=1),
+        ):
+            sweep = hyperplane_bisection(placement)
+            assert sweep.torus_cut_size <= corollary1_bisection_bound(k, d)
+
+
+class TestCutCertificate:
+    def test_cut_separates_the_sides(self, torus_4_2):
+        p = linear_placement(torus_4_2)
+        sweep = hyperplane_bisection(p)
+        side_a = set(sweep.side_a_node_ids.tolist())
+        for eid in sweep.torus_cut_edge_ids:
+            e = torus_4_2.edges.decode(int(eid))
+            assert (e.tail in side_a) != (e.head in side_a)
+
+    def test_removing_cut_disconnects(self, torus_4_2):
+        import networkx as nx
+
+        from repro.torus.graph import to_networkx
+
+        p = linear_placement(torus_4_2)
+        sweep = hyperplane_bisection(p)
+        g = to_networkx(torus_4_2, removed_edges=sweep.torus_cut_edge_ids)
+        side_a = set(sweep.side_a_node_ids.tolist())
+        side_b = set(range(torus_4_2.num_nodes)) - side_a
+        for u in side_a:
+            for v in side_b:
+                assert not nx.has_path(g, u, v)
+
+    def test_gamma_recorded(self, torus_4_2):
+        sweep = hyperplane_bisection(linear_placement(torus_4_2))
+        assert 1.0 < sweep.gamma < 2.0
+
+    def test_explicit_gamma(self, torus_4_2):
+        sweep = hyperplane_bisection(linear_placement(torus_4_2), gamma=1.3)
+        assert sweep.gamma == pytest.approx(1.3)
+        assert sweep.is_balanced
+
+
+class TestGammaRetry:
+    def test_collision_triggers_perturbation(self):
+        # gamma = 1.25 makes (5,0) and (0,4) project equally on T_6^2
+        # (5 + 0*1.25 == 0 + 4*1.25): the sweep must detect the collision
+        # and retry with a perturbed gamma
+        torus = Torus(6, 2)
+        placement = Placement(
+            torus, torus.node_ids([(5, 0), (0, 4), (1, 1), (2, 3)])
+        )
+        sweep = hyperplane_bisection(placement, gamma=1.25)
+        assert sweep.is_balanced
+        assert sweep.gamma != pytest.approx(1.25, abs=1e-9)

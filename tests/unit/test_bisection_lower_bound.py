@@ -1,0 +1,51 @@
+"""Unit tests for repro.bisection.lower_bound."""
+
+import pytest
+
+from repro.bisection.exact import exact_bisection_width
+from repro.bisection.lower_bound import (
+    bisection_width_bracket,
+    bisection_width_lower_bound_from_load,
+)
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+class TestLowerBound:
+    def test_formula(self):
+        p = linear_placement(Torus(6, 2))
+        # |P| = 6: 2*3*3 / E_max
+        assert bisection_width_lower_bound_from_load(p, 3.0) == 6
+
+    def test_invalid_emax(self):
+        p = linear_placement(Torus(4, 2))
+        with pytest.raises(ValueError):
+            bisection_width_lower_bound_from_load(p, 0.0)
+
+    def test_bound_below_exact_width(self):
+        # the true width must respect the load-derived lower bound
+        for k in (3, 4):
+            p = linear_placement(Torus(k, 2))
+            emax = float(odr_edge_loads(p).max())
+            lower = bisection_width_lower_bound_from_load(p, emax)
+            assert lower <= exact_bisection_width(p)
+
+
+class TestBracket:
+    @pytest.mark.parametrize("k,d", [(4, 2), (6, 2), (4, 3)])
+    def test_bracket_ordered(self, k, d):
+        p = linear_placement(Torus(k, d))
+        lo, hi = bisection_width_bracket(p)
+        assert 0 < lo <= hi
+
+    def test_bracket_contains_exact(self):
+        p = linear_placement(Torus(4, 2))
+        lo, hi = bisection_width_bracket(p)
+        exact = exact_bisection_width(p)
+        assert lo <= exact <= hi
+
+    def test_upper_is_theorem1_for_uniform_even(self):
+        p = linear_placement(Torus(6, 2))
+        _lo, hi = bisection_width_bracket(p)
+        assert hi <= 4 * 6

@@ -1,0 +1,68 @@
+"""Unit tests for repro.bisection.separator."""
+
+import numpy as np
+import pytest
+
+from repro.bisection.separator import (
+    crossing_edges_between,
+    separator_edges,
+    separator_size,
+)
+from repro.torus.subtorus import principal_subtorus_nodes
+from repro.torus.topology import Torus
+
+
+class TestSeparatorEdges:
+    def test_singleton(self, torus_4_2):
+        edges = separator_edges(torus_4_2, [0])
+        assert edges.size == 8  # 4d = 8 for d=2
+        # every edge touches node 0 on exactly one side
+        for eid in edges:
+            e = torus_4_2.edges.decode(int(eid))
+            assert (e.tail == 0) != (e.head == 0)
+
+    def test_symmetric_in_complement(self, torus_4_2):
+        s = np.array([0, 1, 5, 6])
+        comp = np.setdiff1d(np.arange(16), s)
+        assert np.array_equal(
+            separator_edges(torus_4_2, s), separator_edges(torus_4_2, comp)
+        )
+
+    def test_both_directions_present(self, torus_4_2):
+        edges = set(separator_edges(torus_4_2, [0, 1]).tolist())
+        for eid in list(edges):
+            assert torus_4_2.edges.reverse(eid) in edges
+
+    def test_two_adjacent_nodes(self, torus_4_2):
+        # 2 nodes, 8 incident directed edges each, minus the 2 internal
+        assert separator_size(torus_4_2, [0, 1]) == 16 - 2 * 1 - 2 * 1
+
+    def test_layer(self, torus_6_3):
+        layer = principal_subtorus_nodes(torus_6_3, 0, 2)
+        # a full layer has boundary 2 cuts x 2k^(d-1)
+        assert separator_size(torus_6_3, layer) == 4 * 36
+
+
+class TestCrossingEdgesBetween:
+    def test_partial_partition(self, torus_4_2):
+        a = np.array([0])
+        b = np.array([1])
+        crossing = crossing_edges_between(torus_4_2, a, b)
+        assert crossing.size == 2  # one undirected link = two directed
+
+    def test_ignores_outsiders(self, torus_4_2):
+        a = np.array([0])
+        b = np.array([5])  # not adjacent to 0
+        assert crossing_edges_between(torus_4_2, a, b).size == 0
+
+    def test_disjointness_enforced(self, torus_4_2):
+        with pytest.raises(ValueError):
+            crossing_edges_between(torus_4_2, [0, 1], [1, 2])
+
+    def test_full_partition_matches_separator(self, torus_4_2):
+        a = np.arange(8)
+        b = np.arange(8, 16)
+        assert np.array_equal(
+            crossing_edges_between(torus_4_2, a, b),
+            separator_edges(torus_4_2, a),
+        )

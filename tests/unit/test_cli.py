@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_args(self):
+        args = build_parser().parse_args(
+            ["design", "--k", "8", "--d", "3", "--t", "2", "--routing", "udr"]
+        )
+        assert (args.k, args.d, args.t, args.routing) == (8, 3, 2, "udr")
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze", "--k", "4", "--d", "2"])
+        assert args.t == 1 and args.routing == "odr"
+
+
+class TestCommands:
+    def test_design(self, capsys):
+        assert main(["design", "--k", "6", "--d", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "|P|                : 6" in out
+        assert "ODR" in out
+
+    def test_analyze_bounds_hold(self, capsys):
+        assert main(["analyze", "--k", "6", "--d", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bounds hold     : True" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "[P]" in capsys.readouterr().out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "--quick", "--only", "EXP-2"]) == 0
+        assert "Verdict: PASS" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--k", "4", "--d", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "packets delivered : 12" in out
+
+    def test_simulate_with_failures(self, capsys):
+        assert main(
+            ["simulate", "--k", "5", "--d", "2", "--routing", "udr",
+             "--fail-links", "5", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "injected 5 link failures" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--d", "2", "--ks", "4,6,8", "--family", "linear"]) == 0
+        out = capsys.readouterr().out
+        assert "growth exponent" in out
+
+    def test_error_exit_code(self, capsys):
+        # k=1 is an invalid radix: the CLI reports and exits 2
+        assert main(["design", "--k", "1", "--d", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["experiments", "--only", "EXP-99"]) == 2
+
+
+class TestAnalyzeMarkdown:
+    def test_markdown_flag(self, capsys):
+        assert main(["analyze", "--k", "6", "--d", "2", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Placement analysis")
+        assert "Bisection certificates" in out

@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze, compute_loads
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.fully import block_placement
+from repro.placements.linear import linear_placement
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.minimal import AllMinimalPaths
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+class TestComputeLoads:
+    def test_odr_dispatch(self, linear_4_2):
+        assert np.allclose(
+            compute_loads(linear_4_2, OrderedDimensionalRouting(2)),
+            odr_edge_loads(linear_4_2),
+        )
+
+    def test_custom_order_dispatch(self, linear_4_2):
+        dor = DimensionOrderRouting([1, 0])
+        assert np.allclose(
+            compute_loads(linear_4_2, dor),
+            edge_loads_reference(linear_4_2, dor),
+        )
+
+    def test_udr_dispatch(self, linear_4_2):
+        assert np.allclose(
+            compute_loads(linear_4_2, UnorderedDimensionalRouting()),
+            udr_edge_loads(linear_4_2),
+        )
+
+    def test_generic_fallback(self, linear_4_2):
+        allmin = AllMinimalPaths()
+        assert np.allclose(
+            compute_loads(linear_4_2, allmin),
+            edge_loads_reference(linear_4_2, allmin),
+        )
+
+
+class TestAnalyze:
+    def test_linear_odr(self):
+        p = linear_placement(Torus(6, 2))
+        an = analyze(p, OrderedDimensionalRouting(2))
+        assert an.uniform
+        assert an.emax == 3.0
+        assert an.dimension_cut_width == 4 * 6
+        assert an.dimension_cut_balanced
+        assert an.optimality_ratio >= 1.0
+        assert an.linearity_ratio == pytest.approx(0.5)
+
+    def test_bounds_hold(self):
+        p = linear_placement(Torus(6, 3))
+        for routing in (OrderedDimensionalRouting(3), UnorderedDimensionalRouting()):
+            an = analyze(p, routing)
+            assert an.emax >= an.bounds.best
+
+    def test_nonuniform_placement(self, torus_4_2):
+        p = block_placement(torus_4_2, 2)
+        an = analyze(p, OrderedDimensionalRouting(2))
+        assert not an.uniform
+        assert an.bounds.section4 is None
+
+    def test_hyperplane_within_corollary1(self):
+        p = linear_placement(Torus(4, 3))
+        an = analyze(p, OrderedDimensionalRouting(3))
+        assert an.hyperplane_cut_width <= 6 * 3 * 16
+        assert an.hyperplane_array_crossings <= 2 * 3 * 16

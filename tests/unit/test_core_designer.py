@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.designer."""
+
+import math
+
+import pytest
+
+from repro.core.designer import design_placement
+from repro.errors import InvalidParameterError
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+
+
+class TestDesignPlacement:
+    def test_linear_odr(self):
+        d = design_placement(6, 3)
+        assert d.size == 36
+        assert d.t == 1
+        assert isinstance(d.routing, OrderedDimensionalRouting)
+        assert d.paths_per_pair_max == 1
+
+    def test_multiple_udr(self):
+        d = design_placement(6, 3, t=2, routing="udr")
+        assert d.size == 72
+        assert isinstance(d.routing, UnorderedDimensionalRouting)
+        assert d.paths_per_pair_max == math.factorial(3)
+
+    def test_predicted_upper_bounds(self):
+        d_odr = design_placement(8, 2, t=2, routing="odr")
+        assert d_odr.predicted_emax_upper == 4 * 8
+        d_udr = design_placement(8, 2, t=2, routing="udr")
+        assert d_udr.predicted_emax_upper == 4 * 2 * 8
+
+    def test_lower_bound_value(self):
+        d = design_placement(8, 3)
+        assert d.lower_bound == pytest.approx(64**2 / (8 * 64))
+
+    def test_offset(self):
+        d = design_placement(5, 2, offset=2)
+        sums = set((d.placement.coords().sum(axis=1) % 5).tolist())
+        assert sums == {2}
+
+    def test_case_insensitive_routing(self):
+        assert isinstance(
+            design_placement(4, 2, routing="UDR").routing,
+            UnorderedDimensionalRouting,
+        )
+
+    def test_invalid_routing(self):
+        with pytest.raises(InvalidParameterError):
+            design_placement(4, 2, routing="xy")
+
+    def test_invalid_t(self):
+        with pytest.raises(InvalidParameterError):
+            design_placement(4, 2, t=0)
+        with pytest.raises(InvalidParameterError):
+            design_placement(4, 2, t=4)
+
+    def test_invalid_torus(self):
+        with pytest.raises(InvalidParameterError):
+            design_placement(1, 2)

@@ -1,0 +1,32 @@
+"""Unit tests for repro.core.report_md."""
+
+from repro.core.analysis import analyze
+from repro.core.designer import design_placement
+from repro.core.report_md import analysis_report_md
+
+
+class TestAnalysisReport:
+    def test_contains_headline_figures(self):
+        design = design_placement(6, 2, routing="odr")
+        analysis = analyze(design.placement, design.routing)
+        md = analysis_report_md(design, analysis)
+        assert md.startswith("# Placement analysis")
+        assert "E_max" in md
+        assert "optimality ratio" in md
+        assert "Theorem 1 two-cut: 24 directed edges" in md
+
+    def test_bounds_rows_present_for_uniform(self):
+        design = design_placement(6, 3, t=2, routing="udr")
+        analysis = analyze(design.placement, design.routing)
+        md = analysis_report_md(design, analysis)
+        assert "Eq. 6 (Blaum)" in md
+        assert "Sec. 4 (dimension-free)" in md
+        assert "upper bound (Thm 3/5)" in md
+
+    def test_markdown_tables_well_formed(self):
+        design = design_placement(4, 2)
+        analysis = analyze(design.placement, design.routing)
+        md = analysis_report_md(design, analysis)
+        for line in md.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")

@@ -1,0 +1,48 @@
+"""Unit tests for repro.core.scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import fit_power_law, scaling_rows
+from repro.placements.fully import FullyPopulatedFamily
+from repro.placements.linear import LinearPlacementFamily
+from repro.routing.odr import OrderedDimensionalRouting
+
+
+class TestFitPowerLaw:
+    def test_exact_power(self):
+        xs = np.array([1, 2, 4, 8], dtype=float)
+        fit = fit_power_law(xs, 3 * xs**2)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_linear(self):
+        xs = [2.0, 5.0, 9.0]
+        fit = fit_power_law(xs, [4.0, 10.0, 18.0])
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 0.0], [1.0, 1.0])
+
+
+class TestScalingRows:
+    def test_linear_rows(self):
+        rows = scaling_rows(
+            LinearPlacementFamily(), OrderedDimensionalRouting, 2, [4, 6]
+        )
+        assert [r[0] for r in rows] == [4, 6]
+        assert [r[1] for r in rows] == [4, 6]
+        assert all(r[3] == pytest.approx(0.5) for r in rows)
+
+    def test_full_rows_superlinear(self):
+        rows = scaling_rows(
+            FullyPopulatedFamily(), OrderedDimensionalRouting, 2, [4, 8]
+        )
+        fit = fit_power_law([r[1] for r in rows], [r[2] for r in rows])
+        assert fit.exponent > 1.2

@@ -1,0 +1,61 @@
+"""Unit tests for repro.core.verify."""
+
+import pytest
+
+from repro.core.verify import verify_linear_load
+from repro.placements.fully import FullyPopulatedFamily
+from repro.placements.linear import LinearPlacementFamily
+from repro.placements.multiple import MultipleLinearPlacementFamily
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+
+
+class TestVerifyLinearLoad:
+    def test_linear_family_certified(self):
+        cert = verify_linear_load(
+            LinearPlacementFamily(), OrderedDimensionalRouting, 2, [4, 6, 8, 10]
+        )
+        assert cert.is_linear
+        assert cert.r_squared > 0.999
+        assert all(r == pytest.approx(0.5) for r in cert.ratios)
+
+    def test_multiple_linear_certified(self):
+        cert = verify_linear_load(
+            MultipleLinearPlacementFamily(2),
+            OrderedDimensionalRouting,
+            2,
+            [4, 6, 8],
+        )
+        assert cert.is_linear
+
+    def test_udr_certified(self):
+        cert = verify_linear_load(
+            LinearPlacementFamily(),
+            lambda d: UnorderedDimensionalRouting(),
+            2,
+            [4, 6, 8],
+        )
+        assert cert.is_linear
+
+    def test_fully_populated_not_linear(self):
+        cert = verify_linear_load(
+            FullyPopulatedFamily(), OrderedDimensionalRouting, 2, [4, 6, 8, 10]
+        )
+        assert not cert.is_linear
+        # ratios diverge monotonically for the superlinear family
+        assert all(a < b for a, b in zip(cert.ratios, cert.ratios[1:]))
+        assert cert.growth_exponent > 1.2
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            verify_linear_load(
+                LinearPlacementFamily(), OrderedDimensionalRouting, 2, [4]
+            )
+
+    def test_records_sweep(self):
+        cert = verify_linear_load(
+            LinearPlacementFamily(), OrderedDimensionalRouting, 2, [4, 6]
+        )
+        assert cert.ks == (4, 6)
+        assert cert.sizes == (4, 6)
+        assert len(cert.emaxes) == 2

@@ -1,0 +1,113 @@
+"""Cross-cutting edge-case tests: degenerate radii and dimensions.
+
+``k = 2`` (parallel +/− links between every adjacent pair, every differing
+coordinate a half-ring tie) and ``d = 1`` (a plain ring) stress every
+assumption in the stack; these tests pin the behaviour end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bisection.dimension_cut import best_dimension_cut
+from repro.bisection.hyperplane import hyperplane_bisection
+from repro.core.analysis import analyze
+from repro.core.designer import design_placement
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.sim.engine import CycleEngine
+from repro.sim.network import SimNetwork
+from repro.sim.workloads import complete_exchange_packets
+from repro.torus.topology import Torus
+
+
+class TestK2Torus:
+    def test_linear_placement(self):
+        torus = Torus(2, 3)
+        p = linear_placement(torus)
+        assert len(p) == 4
+        assert np.all(p.coords().sum(axis=1) % 2 == 0)
+
+    def test_odr_loads_all_plus_links(self):
+        # every correction is a half-ring tie resolved to +: no − link used
+        torus = Torus(2, 2)
+        p = linear_placement(torus)
+        loads = odr_edge_loads(p)
+        ids = np.arange(torus.num_edges)
+        _t, _d, signs = torus.edges.decode_arrays(ids)
+        assert loads[signs < 0].sum() == 0.0
+
+    def test_udr_matches_reference(self):
+        torus = Torus(2, 3)
+        p = linear_placement(torus)
+        from repro.load.edge_loads import edge_loads_reference
+
+        assert np.allclose(
+            udr_edge_loads(p),
+            edge_loads_reference(p, UnorderedDimensionalRouting()),
+        )
+
+    def test_design_and_analyze(self):
+        design = design_placement(2, 3)
+        an = analyze(design.placement, design.routing)
+        assert an.emax >= an.bounds.best - 1e-9
+
+    def test_simulator(self):
+        torus = Torus(2, 2)
+        p = linear_placement(torus)
+        packets = complete_exchange_packets(
+            p, OrderedDimensionalRouting(2), seed=0
+        )
+        res = CycleEngine(SimNetwork(torus)).run(packets)
+        assert res.delivered == len(packets)
+
+
+class TestD1Ring:
+    def test_linear_placement_single_node(self):
+        p = linear_placement(Torus(6, 1))
+        assert len(p) == 1
+
+    def test_two_node_ring_placement_loads(self):
+        torus = Torus(6, 1)
+        p = Placement(torus, [0, 3])
+        loads = odr_edge_loads(p)
+        # 0 -> 3 and 3 -> 0 both tie: both travel +, three hops each
+        assert loads.sum() == 6
+        assert loads.max() == 1.0
+
+    def test_hyperplane_bisection_on_ring(self):
+        torus = Torus(6, 1)
+        p = Placement(torus, [0, 2, 3, 5])
+        sweep = hyperplane_bisection(p)
+        assert sweep.is_balanced
+
+    def test_dimension_cut_on_ring(self):
+        torus = Torus(6, 1)
+        p = Placement(torus, [0, 3])
+        cut = best_dimension_cut(p)
+        assert cut.cut_size == 4  # 4 * k^0
+        assert cut.is_balanced
+
+    def test_udr_equals_odr_on_ring(self):
+        # only one dimension: UDR degenerates to ODR exactly
+        torus = Torus(7, 1)
+        p = Placement(torus, [0, 2, 5])
+        assert np.allclose(odr_edge_loads(p), udr_edge_loads(p))
+
+
+class TestMinimalPlacements:
+    def test_two_processor_analysis(self):
+        torus = Torus(5, 2)
+        p = Placement(torus, [0, 12])
+        an = analyze(p, OrderedDimensionalRouting(2))
+        assert an.emax == 1.0
+        assert an.emax >= an.bounds.best - 1e-9
+
+    def test_single_processor_loads_zero(self):
+        torus = Torus(4, 2)
+        p = Placement(torus, [7])
+        assert odr_edge_loads(p).sum() == 0
+        assert udr_edge_loads(p).sum() == 0

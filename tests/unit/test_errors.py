@@ -1,0 +1,22 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_invalid_parameter_is_value_error(self):
+        assert issubclass(errors.InvalidParameterError, ValueError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.RoutingError("x")
+
+    def test_distinct_classes(self):
+        assert errors.PlacementError is not errors.RoutingError

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment framework."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    experiment_ids,
+    get_experiment,
+    register,
+)
+from repro.util.tables import Table
+
+
+class TestExperimentResult:
+    def test_check_pass(self):
+        r = ExperimentResult("X", "t")
+        r.check(True, "ok")
+        assert r.passed
+        assert r.findings == ["[PASS] ok"]
+
+    def test_check_fail_flips_verdict(self):
+        r = ExperimentResult("X", "t")
+        r.check(True, "ok")
+        r.check(False, "broken")
+        assert not r.passed
+        assert "[FAIL] broken" in r.findings
+
+    def test_note_does_not_fail(self):
+        r = ExperimentResult("X", "t")
+        r.note("informational")
+        assert r.passed
+
+    def test_render_contains_tables_and_verdict(self):
+        r = ExperimentResult("X", "my title")
+        t = Table(["a"])
+        t.add_row([1])
+        r.tables.append(t)
+        r.check(True, "fine")
+        text = r.render()
+        assert "my title" in text
+        assert "Verdict: PASS" in text
+        assert "| a" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # importing repro.experiments registers the full suite:
+        # EXP-1..13 reproduce the paper, EXP-14..23 are extensions
+        import repro.experiments  # noqa: F401
+
+        ids = experiment_ids()
+        assert ids == [f"EXP-{i}" for i in range(1, 24)]
+
+    def test_get_experiment(self):
+        import repro.experiments  # noqa: F401
+
+        exp = get_experiment("EXP-2")
+        assert isinstance(exp, Experiment)
+        assert "Figure 1" in exp.title
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("EXP-999")
+
+    def test_duplicate_registration_rejected(self):
+        import repro.experiments  # noqa: F401
+
+        with pytest.raises(ExperimentError):
+
+            @register("EXP-1", "dup", "nowhere")
+            def _dup(quick=False):
+                raise NotImplementedError

@@ -1,0 +1,82 @@
+"""Unit tests for the extension experiments (EXP-14 … EXP-20 internals)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+class TestSymmetryExperiment:
+    def test_quick_passes_with_tables(self):
+        result = get_experiment("EXP-14").run(quick=True)
+        assert result.passed
+        assert len(result.tables) == 1
+        assert len(result.tables[0]) >= 4  # base + offsets + coeff variants
+
+    def test_structural_check_present(self):
+        result = get_experiment("EXP-14").run(quick=True)
+        assert any("translation-equivalent" in f for f in result.findings)
+
+
+class TestSingleDimUniformity:
+    def test_quick_passes(self):
+        result = get_experiment("EXP-15").run(quick=True)
+        assert result.passed
+        assert any("4k^(d-1)" in f for f in result.findings)
+
+    def test_notes_random_contrast(self):
+        result = get_experiment("EXP-15").run(quick=True)
+        assert any("fully random" in f for f in result.findings)
+
+
+class TestLeeCodes:
+    def test_quick_passes(self):
+        result = get_experiment("EXP-16").run(quick=True)
+        assert result.passed
+
+    def test_table_has_coverage_columns(self):
+        result = get_experiment("EXP-16").run(quick=True)
+        assert "cover radius" in result.tables[0].headers
+
+
+class TestTrafficPatterns:
+    def test_quick_passes(self):
+        result = get_experiment("EXP-17").run(quick=True)
+        assert result.passed
+
+    def test_three_patterns_reported(self):
+        result = get_experiment("EXP-17").run(quick=True)
+        patterns = result.tables[0].column("traffic")
+        assert patterns == ["complete exchange", "permutation", "hotspot"]
+
+
+class TestWormholeExperiment:
+    def test_quick_passes(self):
+        result = get_experiment("EXP-18").run(quick=True)
+        assert result.passed
+
+    def test_both_placements_reported(self):
+        result = get_experiment("EXP-18").run(quick=True)
+        names = result.tables[0].column("placement")
+        assert names == ["linear", "fully populated"]
+
+
+class TestSearchExperiment:
+    def test_quick_passes(self):
+        result = get_experiment("EXP-19").run(quick=True)
+        assert result.passed
+
+    def test_never_beats_linear_reported(self):
+        result = get_experiment("EXP-19").run(quick=True)
+        beats = result.tables[0].column("beats linear")
+        assert not any(beats)
+
+
+class TestScheduleExperiment:
+    def test_quick_passes(self):
+        result = get_experiment("EXP-20").run(quick=True)
+        assert result.passed
+
+    def test_ratios_reasonable(self):
+        result = get_experiment("EXP-20").run(quick=True)
+        for ratio in result.tables[0].column("ratio"):
+            assert 1.0 <= ratio <= 2.0

@@ -1,0 +1,55 @@
+"""Golden-output regression tests for user-facing renderings.
+
+These pin the exact text of small, stable outputs (the Fig. 1 grid, a tiny
+table) so accidental formatting regressions surface immediately.
+"""
+
+from repro.util.tables import Table
+from repro.viz.ascii_art import render_figure1
+
+FIGURE1_GRID = """\
+[P]===( )---( )
+ #     |     #
+( )---( )===[P]
+ |     #     #
+( )===[P]===( )"""
+
+
+class TestFigure1Golden:
+    def test_grid_exact(self):
+        text = render_figure1()
+        assert FIGURE1_GRID in text
+
+    def test_wraparound_listing_exact(self):
+        text = render_figure1()
+        for line in (
+            "row 0: wraparound (0,2) = (0,0)",
+            "row 1: wraparound (1,2) = (1,0)",
+            "col 0: wraparound (2,0) = (0,0)",
+            "col 1: wraparound (2,1) = (0,1)",
+        ):
+            assert line in text
+
+    def test_header_counts(self):
+        text = render_figure1()
+        assert "highlighted: 24 directed links" in text
+
+
+class TestTableGolden:
+    def test_exact_rendering(self):
+        t = Table(["k", "E_max"], title="demo")
+        t.add_row([4, 2.0])
+        t.add_row([16, 0.5])
+        assert t.render() == (
+            "### demo\n"
+            "\n"
+            "| k  | E_max |\n"
+            "|----|-------|\n"
+            "| 4  | 2     |\n"
+            "| 16 | 0.5   |"
+        )
+
+    def test_float_format_override(self):
+        t = Table(["x"], float_fmt="{:.2f}")
+        t.add_row([1 / 3])
+        assert "| 0.33 |" in t.render()

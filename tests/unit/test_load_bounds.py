@@ -1,0 +1,82 @@
+"""Unit tests for repro.load.bounds."""
+
+import numpy as np
+import pytest
+
+from repro.load.bounds import (
+    best_known_lower_bound,
+    eq6_bound,
+    eq8_bound,
+    lemma1_bound,
+    section4_bound,
+    separator_size,
+)
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.base import Placement
+from repro.placements.fully import block_placement
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+class TestSeparator:
+    def test_singleton_size_4d(self):
+        for k, d in [(4, 2), (5, 3)]:
+            torus = Torus(k, d)
+            assert separator_size(torus, [0]) == 4 * d
+
+    def test_whole_torus_empty_boundary(self, torus_4_2):
+        assert separator_size(torus_4_2, np.arange(16)) == 0
+
+    def test_layer_boundary(self, torus_4_2):
+        # one full layer of T_4^2 (dim 0): boundary = 2 cuts x 2k^(d-1) links
+        from repro.torus.subtorus import principal_subtorus_nodes
+
+        layer = principal_subtorus_nodes(torus_4_2, 0, 1)
+        assert separator_size(torus_4_2, layer) == 2 * 2 * 4
+
+
+class TestBounds:
+    def test_eq6(self, linear_4_3):
+        assert eq6_bound(linear_4_3) == pytest.approx(15 / 6)
+
+    def test_lemma1_singleton_equals_eq6(self, linear_4_3):
+        s = linear_4_3.node_ids[:1]
+        assert lemma1_bound(linear_4_3, s) == pytest.approx(eq6_bound(linear_4_3))
+
+    def test_lemma1_requires_subset(self, linear_4_2):
+        outside = linear_4_2.complement().node_ids[:1]
+        with pytest.raises(ValueError):
+            lemma1_bound(linear_4_2, outside)
+
+    def test_eq8(self, linear_4_2):
+        assert eq8_bound(linear_4_2, 16) == pytest.approx(2 * 4 / 16)
+
+    def test_section4(self):
+        p = linear_placement(Torus(8, 3))
+        assert section4_bound(p) == pytest.approx(64**2 / (8 * 64))
+
+    def test_bounds_below_measured(self):
+        p = linear_placement(Torus(6, 3))
+        emax = float(odr_edge_loads(p).max())
+        rep = best_known_lower_bound(p, bisection_width=4 * 36)
+        assert rep.best <= emax
+        assert rep.eq6 <= emax and rep.section4 <= emax and rep.eq8 <= emax
+
+
+class TestBoundReport:
+    def test_section4_suppressed_for_nonuniform(self, torus_4_2):
+        p = block_placement(torus_4_2, 2)
+        rep = best_known_lower_bound(p)
+        assert rep.section4 is None
+        assert rep.best == rep.eq6
+
+    def test_best_picks_max(self):
+        p = linear_placement(Torus(4, 4))
+        rep = best_known_lower_bound(p)
+        # d=4, k=4: section4 = 64^2/(8*64)=8 > eq6 = 63/8
+        assert rep.section4 is not None
+        assert rep.best == rep.section4
+
+    def test_eq8_optional(self, linear_4_2):
+        assert best_known_lower_bound(linear_4_2).eq8 is None
+        assert best_known_lower_bound(linear_4_2, 16).eq8 is not None

@@ -1,0 +1,94 @@
+"""Unit tests for repro.load.distribution."""
+
+import numpy as np
+import pytest
+
+from repro.load.distribution import (
+    jain_fairness,
+    load_distribution,
+    load_histogram,
+    peak_to_mean,
+    per_dimension_max,
+    per_dimension_total,
+    per_sign_max,
+)
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.load import formulas
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+class TestPerDimension:
+    def test_shapes(self):
+        torus = Torus(4, 3)
+        loads = odr_edge_loads(linear_placement(torus))
+        assert per_dimension_max(torus, loads).shape == (3,)
+        assert per_dimension_total(torus, loads).shape == (3,)
+
+    def test_totals_sum_to_total(self):
+        torus = Torus(6, 2)
+        loads = odr_edge_loads(linear_placement(torus))
+        assert per_dimension_total(torus, loads).sum() == pytest.approx(loads.sum())
+
+    def test_boundary_vs_interior_exp7_structure(self):
+        torus = Torus(8, 3)
+        dist = load_distribution(torus, odr_edge_loads(linear_placement(torus)))
+        assert dist.boundary_max == formulas.odr_linear_emax_boundary(8, 3)
+        assert dist.interior_max == formulas.odr_linear_emax_interior(8, 3)
+        assert dist.global_max == dist.boundary_max
+
+    def test_d2_interior_is_zero(self):
+        torus = Torus(6, 2)
+        dist = load_distribution(torus, odr_edge_loads(linear_placement(torus)))
+        assert dist.interior_max == 0.0
+
+
+class TestSignsAndFairness:
+    def test_per_sign_symmetric_for_odd_k(self):
+        torus = Torus(5, 2)
+        loads = odr_edge_loads(linear_placement(torus))
+        plus, minus = per_sign_max(torus, loads)
+        assert plus == minus  # odd k: no tie bias
+
+    def test_plus_bias_for_even_k(self):
+        # canonical + tie-break loads the + direction more
+        torus = Torus(4, 2)
+        loads = odr_edge_loads(linear_placement(torus))
+        plus, minus = per_sign_max(torus, loads)
+        assert plus >= minus
+
+    def test_udr_fairer_than_odr(self):
+        torus = Torus(6, 2)
+        p = linear_placement(torus)
+        assert jain_fairness(udr_edge_loads(p)) >= jain_fairness(odr_edge_loads(p))
+
+    def test_peak_to_mean_uniform_vector(self):
+        assert peak_to_mean(np.array([2.0, 2.0, 0.0])) == 1.0
+
+    def test_peak_to_mean_empty(self):
+        assert peak_to_mean(np.zeros(4)) == 0.0
+
+    def test_jain_bounds(self):
+        assert jain_fairness(np.array([1.0, 1.0])) == pytest.approx(1.0)
+        assert 0.0 < jain_fairness(np.array([1.0, 9.0])) < 1.0
+        assert jain_fairness(np.zeros(3)) == 1.0
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        loads = np.array([0.0, 1.0, 2.0, 3.0])
+        counts, edges = load_histogram(loads, bins=4)
+        assert counts.sum() == 4
+        assert edges.size == 5
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            load_histogram(np.array([1.0]), bins=0)
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self):
+        torus = Torus(4, 2)
+        with pytest.raises(ValueError):
+            load_distribution(torus, np.zeros(3))

@@ -1,0 +1,70 @@
+"""Unit tests for repro.load.edge_loads (the reference oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.traffic import complete_exchange_weights
+from repro.placements.base import Placement
+from repro.routing.minimal import AllMinimalPaths
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+class TestReferenceLoads:
+    def test_two_nodes_single_dim(self):
+        torus = Torus(4, 1)
+        p = Placement(torus, [0, 1])
+        loads = edge_loads_reference(p, OrderedDimensionalRouting(1))
+        # 0->1 uses edge (0,+); 1->0 uses edge (1,-)
+        ei = torus.edges
+        assert loads[ei.edge_id(0, 0, +1)] == 1.0
+        assert loads[ei.edge_id(1, 0, -1)] == 1.0
+        assert loads.sum() == 2.0
+
+    def test_fractional_under_multipath(self, torus_5_2):
+        p = Placement(
+            torus_5_2, torus_5_2.node_ids([(0, 0), (1, 1)]), name="pair"
+        )
+        loads = edge_loads_reference(p, AllMinimalPaths())
+        # each direction has 2 paths; each edge on a path carries 1/2
+        used = loads[loads > 0]
+        assert np.allclose(used, 0.5)
+        assert loads.sum() == 2 * 2  # 2 messages x Lee distance 2
+
+    def test_conservation(self, linear_4_2):
+        loads = edge_loads_reference(linear_4_2, OrderedDimensionalRouting(2))
+        coords = linear_4_2.coords()
+        total_lee = sum(
+            linear_4_2.torus.lee_distance(coords[i], coords[j])
+            for i in range(len(linear_4_2))
+            for j in range(len(linear_4_2))
+            if i != j
+        )
+        assert loads.sum() == pytest.approx(total_lee)
+
+    def test_explicit_weights_match_default(self, linear_4_2):
+        odr = OrderedDimensionalRouting(2)
+        default = edge_loads_reference(linear_4_2, odr)
+        weighted = edge_loads_reference(
+            linear_4_2, odr, complete_exchange_weights(len(linear_4_2))
+        )
+        assert np.allclose(default, weighted)
+
+    def test_weight_scaling(self, linear_4_2):
+        odr = OrderedDimensionalRouting(2)
+        w = 3.0 * complete_exchange_weights(len(linear_4_2))
+        assert np.allclose(
+            edge_loads_reference(linear_4_2, odr, w),
+            3.0 * edge_loads_reference(linear_4_2, odr),
+        )
+
+    def test_zero_weights_skip_pairs(self, linear_4_2):
+        odr = OrderedDimensionalRouting(2)
+        w = np.zeros((len(linear_4_2), len(linear_4_2)))
+        assert edge_loads_reference(linear_4_2, odr, w).sum() == 0.0
+
+    def test_bad_weight_shape(self, linear_4_2):
+        odr = OrderedDimensionalRouting(2)
+        with pytest.raises(ValueError):
+            edge_loads_reference(linear_4_2, odr, np.ones((2, 2)))

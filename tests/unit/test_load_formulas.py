@@ -1,0 +1,138 @@
+"""Unit tests for repro.load.formulas — every closed form the paper states."""
+
+import pytest
+
+from repro.load import formulas as F
+
+
+class TestLowerBounds:
+    def test_blaum_examples_from_paper(self):
+        # "for d = 2, E_max >= |P|/4 and, for d = 3, E_max >= |P|/6"
+        assert F.blaum_lower_bound(101, 2) == pytest.approx(100 / 4)
+        assert F.blaum_lower_bound(61, 3) == pytest.approx(60 / 6)
+
+    def test_separator_bound(self):
+        assert F.separator_lower_bound(1, 5, 8) == pytest.approx(2 * 1 * 4 / 8)
+
+    def test_separator_bound_zero_boundary(self):
+        with pytest.raises(ValueError):
+            F.separator_lower_bound(1, 2, 0)
+
+    def test_eq6_is_lemma1_singleton(self):
+        # |S| = 1, |∂S| = 4d reduces (7) to (6)
+        p, d = 37, 3
+        assert F.separator_lower_bound(1, p, 4 * d) == pytest.approx(
+            F.blaum_lower_bound(p, d)
+        )
+
+    def test_bisection_lower_bound(self):
+        assert F.bisection_lower_bound(8, 16) == pytest.approx(2 * 16 / 16)
+
+    def test_improved_bound(self):
+        assert F.improved_lower_bound(1.0, 8, 3) == pytest.approx(64 / 8)
+        assert F.improved_lower_bound(2.0, 8, 3) == pytest.approx(4 * 64 / 8)
+
+    def test_improved_from_size_consistent(self):
+        k, d, c = 8, 3, 2.0
+        p = c * k ** (d - 1)
+        assert F.improved_lower_bound_from_size(int(p), k, d) == pytest.approx(
+            F.improved_lower_bound(c, k, d)
+        )
+
+
+class TestOdrForms:
+    def test_even(self):
+        assert F.odr_linear_emax_exact(8, 3) == pytest.approx(64 / 8 + 8 / 4)
+
+    def test_odd(self):
+        assert F.odr_linear_emax_exact(5, 3) == pytest.approx(25 / 8 - 1 / 8)
+
+    def test_interior_alias(self):
+        assert F.odr_linear_emax_interior(6, 3) == F.odr_linear_emax_exact(6, 3)
+
+    def test_boundary(self):
+        assert F.odr_linear_emax_boundary(8, 3) == 32
+        assert F.odr_linear_emax_boundary(5, 3) == 10
+
+    def test_global_max(self):
+        assert F.odr_linear_emax_global(8, 3) == 32.0
+        assert F.odr_linear_emax_global(8, 2) == 4.0
+
+    def test_leading_term(self):
+        assert F.odr_linear_emax_leading(8, 3) == 8.0
+
+    def test_multiple_upper(self):
+        assert F.odr_multiple_upper_bound(8, 3, 2) == 4 * 64
+
+
+class TestUdrForms:
+    def test_upper(self):
+        assert F.udr_upper_bound(8, 3) == 4 * 64
+
+    def test_multiple_upper(self):
+        assert F.udr_multiple_upper_bound(8, 3, 3) == 9 * 4 * 64
+
+
+class TestStructuralForms:
+    def test_fully_populated(self):
+        assert F.fully_populated_bisection_load(4, 2) == pytest.approx(64 / 8)
+
+    def test_corollary1(self):
+        assert F.corollary1_bisection_bound(8, 3) == 6 * 3 * 64
+
+    def test_theorem1(self):
+        assert F.theorem1_bisection_width(8, 3) == 4 * 64
+
+    def test_appendix(self):
+        assert F.appendix_sweep_bound(8, 3) == 2 * 3 * 64
+
+    def test_eq9_ceiling(self):
+        assert F.max_placement_size_bound(1.0, 4, 3) == 12 * 3 * 16
+
+    def test_size_laws(self):
+        assert F.linear_placement_size(6, 3) == 36
+        assert F.multiple_linear_placement_size(6, 3, 2) == 72
+
+
+class TestMultipleInteriorForm:
+    def test_t1_reduces_to_linear(self):
+        assert F.odr_multiple_emax_interior(8, 3, 1) == F.odr_linear_emax_exact(8, 3)
+
+    def test_t2_even(self):
+        assert F.odr_multiple_emax_interior(8, 3, 2) == 4 * 10
+
+    def test_t3_odd(self):
+        assert F.odr_multiple_emax_interior(5, 3, 3) == 9 * 3
+
+
+class TestMultipleInteriorMeasured:
+    @pytest.mark.parametrize("k,t", [(6, 2), (7, 2), (8, 3)])
+    def test_measured_matches_formula(self, k, t):
+        import numpy as np
+
+        from repro.load.distribution import per_dimension_max
+        from repro.load.odr_loads import odr_edge_loads
+        from repro.placements.multiple import multiple_linear_placement
+        from repro.torus.topology import Torus
+
+        torus = Torus(k, 3)
+        placement = multiple_linear_placement(torus, t)
+        dm = per_dimension_max(torus, odr_edge_loads(placement))
+        interior = max(dm[1:2])
+        assert interior == pytest.approx(F.odr_multiple_emax_interior(k, 3, t))
+
+
+class TestUdr2dForm:
+    def test_values(self):
+        assert F.udr_linear_emax_2d(8) == 2.0
+        assert F.udr_linear_emax_2d(9) == 2.0
+        assert F.udr_linear_emax_2d(10) == 2.5
+
+    @pytest.mark.parametrize("k", [4, 5, 6, 7])
+    def test_measured(self, k):
+        from repro.load.udr_loads import udr_edge_loads
+        from repro.placements.linear import linear_placement
+        from repro.torus.topology import Torus
+
+        emax = float(udr_edge_loads(linear_placement(Torus(k, 2))).max())
+        assert emax == pytest.approx(F.udr_linear_emax_2d(k))

@@ -1,0 +1,106 @@
+"""Unit tests for the incremental ODR load update (swap delta)."""
+
+import numpy as np
+import pytest
+
+from repro.load.odr_loads import (
+    accumulate_pair_loads,
+    odr_edge_loads,
+    odr_edge_loads_swap_delta,
+)
+from repro.placements.base import Placement
+from repro.placements.random_placement import random_placement
+from repro.torus.topology import Torus
+
+
+def _swap(torus, placement, out_pos, router_pick):
+    ids = placement.node_ids
+    removed = int(ids[out_pos])
+    routers = np.setdiff1d(np.arange(torus.num_nodes), ids)
+    added = int(routers[router_pick])
+    kept = np.delete(ids, out_pos)
+    return removed, added, kept
+
+
+class TestSwapDelta:
+    @pytest.mark.parametrize("k,d", [(4, 2), (5, 2), (4, 3)])
+    def test_matches_full_recompute(self, k, d):
+        torus = Torus(k, d)
+        placement = random_placement(torus, min(8, torus.num_nodes - 2), seed=k + d)
+        loads = odr_edge_loads(placement)
+        removed, added, kept = _swap(torus, placement, 2, 1)
+        incremental = odr_edge_loads_swap_delta(
+            torus, loads, torus.coords(kept), torus.coord(removed),
+            torus.coord(added)
+        )
+        full = odr_edge_loads(Placement(torus, list(kept) + [added]))
+        assert np.allclose(incremental, full)
+
+    def test_input_not_mutated(self):
+        torus = Torus(4, 2)
+        placement = random_placement(torus, 5, seed=0)
+        loads = odr_edge_loads(placement)
+        before = loads.copy()
+        removed, added, kept = _swap(torus, placement, 0, 0)
+        odr_edge_loads_swap_delta(
+            torus, loads, torus.coords(kept), torus.coord(removed),
+            torus.coord(added)
+        )
+        assert np.array_equal(loads, before)
+
+    def test_single_processor_placement(self):
+        # kept set empty: swapping the only processor yields zero loads
+        torus = Torus(4, 2)
+        placement = Placement(torus, [3])
+        loads = odr_edge_loads(placement)
+        out = odr_edge_loads_swap_delta(
+            torus, loads, np.empty((0, 2), dtype=np.int64),
+            torus.coord(3), torus.coord(7)
+        )
+        assert np.allclose(out, loads)  # both all-zero
+
+    def test_identity_swap(self):
+        # removing and re-adding the same node is a no-op
+        torus = Torus(5, 2)
+        placement = random_placement(torus, 6, seed=1)
+        loads = odr_edge_loads(placement)
+        ids = placement.node_ids
+        kept = np.delete(ids, 3)
+        out = odr_edge_loads_swap_delta(
+            torus, loads, torus.coords(kept), torus.coord(int(ids[3])),
+            torus.coord(int(ids[3]))
+        )
+        assert np.allclose(out, loads)
+
+
+class TestAccumulatePairLoads:
+    def test_scale_minus_cancels(self):
+        torus = Torus(5, 2)
+        p = np.array([[0, 0], [1, 2]])
+        q = np.array([[2, 3], [4, 4]])
+        loads = np.zeros(torus.num_edges)
+        accumulate_pair_loads(loads, 5, 2, p, q, scale=+1.0)
+        accumulate_pair_loads(loads, 5, 2, p, q, scale=-1.0)
+        assert np.allclose(loads, 0.0)
+
+    def test_matches_engine_on_all_pairs(self):
+        torus = Torus(4, 2)
+        placement = random_placement(torus, 5, seed=2)
+        coords = placement.coords()
+        m = len(placement)
+        idx = np.arange(m)
+        pi, qi = np.meshgrid(idx, idx, indexing="ij")
+        keep = pi != qi
+        loads = np.zeros(torus.num_edges)
+        accumulate_pair_loads(loads, 4, 2, coords[pi[keep]], coords[qi[keep]])
+        assert np.allclose(loads, odr_edge_loads(placement))
+
+    def test_weights(self):
+        torus = Torus(4, 2)
+        p = np.array([[0, 0]])
+        q = np.array([[0, 1]])
+        loads = np.zeros(torus.num_edges)
+        accumulate_pair_loads(
+            loads, 4, 2, p, q, weights=np.array([2.5])
+        )
+        assert loads.sum() == pytest.approx(2.5)

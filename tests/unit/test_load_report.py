@@ -1,0 +1,47 @@
+"""Unit tests for repro.load.report."""
+
+import numpy as np
+import pytest
+
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.report import load_report
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+class TestLoadReport:
+    def test_fields(self):
+        p = linear_placement(Torus(6, 2))
+        loads = odr_edge_loads(p)
+        rep = load_report(p, loads)
+        assert rep.emax == loads.max()
+        assert rep.total == pytest.approx(loads.sum())
+        assert rep.num_edges == p.torus.num_edges
+        assert rep.placement_size == 6
+        assert rep.used_edges == int(np.count_nonzero(loads))
+
+    def test_argmax_edge_consistent(self):
+        p = linear_placement(Torus(6, 2))
+        loads = odr_edge_loads(p)
+        rep = load_report(p, loads)
+        assert loads[rep.argmax_edge.edge_id] == rep.emax
+
+    def test_linearity_ratio(self):
+        p = linear_placement(Torus(6, 2))
+        rep = load_report(p, odr_edge_loads(p))
+        assert rep.linearity_ratio == pytest.approx(rep.emax / 6)
+
+    def test_mean_nonzero_ge_mean(self):
+        p = linear_placement(Torus(6, 2))
+        rep = load_report(p, odr_edge_loads(p))
+        assert rep.mean_nonzero >= rep.mean
+
+    def test_wrong_shape_rejected(self):
+        p = linear_placement(Torus(4, 2))
+        with pytest.raises(ValueError):
+            load_report(p, np.zeros(3))
+
+    def test_str_mentions_emax(self):
+        p = linear_placement(Torus(4, 2))
+        rep = load_report(p, odr_edge_loads(p))
+        assert "E_max" in str(rep)

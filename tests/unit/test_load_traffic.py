@@ -1,0 +1,61 @@
+"""Unit tests for repro.load.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.load.traffic import (
+    complete_exchange_weights,
+    hotspot_traffic_weights,
+    permutation_traffic_weights,
+)
+
+
+class TestCompleteExchange:
+    def test_shape_and_diagonal(self):
+        w = complete_exchange_weights(5)
+        assert w.shape == (5, 5)
+        assert np.all(np.diagonal(w) == 0)
+        assert w.sum() == 20
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            complete_exchange_weights(0)
+
+
+class TestPermutation:
+    def test_row_sums_one(self):
+        w = permutation_traffic_weights(6, seed=0)
+        assert np.all(w.sum(axis=1) == 1)
+        assert np.all(w.sum(axis=0) == 1)
+
+    def test_no_fixed_points(self):
+        w = permutation_traffic_weights(8, seed=1)
+        assert np.all(np.diagonal(w) == 0)
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            permutation_traffic_weights(6, seed=5),
+            permutation_traffic_weights(6, seed=5),
+        )
+
+    def test_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            permutation_traffic_weights(1)
+
+
+class TestHotspot:
+    def test_column_concentration(self):
+        w = hotspot_traffic_weights(5, hotspot_index=2)
+        assert np.all(w[:, 2][np.arange(5) != 2] == 1.0)
+        assert w[2, 2] == 0.0
+        assert w.sum() == 4
+
+    def test_background(self):
+        w = hotspot_traffic_weights(4, hotspot_index=0, background=0.5)
+        assert w[1, 2] == 0.5
+        assert w[1, 0] == 1.0
+
+    def test_invalid_index(self):
+        with pytest.raises(InvalidParameterError):
+            hotspot_traffic_weights(4, hotspot_index=4)

@@ -1,0 +1,55 @@
+"""Unit tests for repro.placements.analysis."""
+
+from repro.placements.analysis import (
+    is_uniform,
+    layer_counts,
+    placement_summary,
+    uniform_dimensions,
+)
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+class TestLayerCounts:
+    def test_linear_placement_flat(self):
+        p = linear_placement(Torus(5, 3))
+        for dim in range(3):
+            assert layer_counts(p, dim).tolist() == [5] * 5
+
+    def test_single_node(self, torus_4_2):
+        p = Placement(torus_4_2, [torus_4_2.node_id((2, 1))])
+        assert layer_counts(p, 0).tolist() == [0, 0, 1, 0]
+        assert layer_counts(p, 1).tolist() == [0, 1, 0, 0]
+
+
+class TestUniformity:
+    def test_linear_is_uniform(self):
+        assert is_uniform(linear_placement(Torus(4, 2)))
+
+    def test_single_node_not_uniform(self, torus_4_2):
+        assert not is_uniform(Placement(torus_4_2, [0]))
+
+    def test_uniform_dimensions_partial(self, torus_4_2):
+        # one processor per column, all in row 0: uniform along dim 1 only
+        ids = torus_4_2.node_ids([(0, j) for j in range(4)])
+        p = Placement(torus_4_2, ids)
+        assert uniform_dimensions(p) == [1]
+
+
+class TestSummary:
+    def test_fields(self):
+        torus = Torus(6, 3)
+        p = linear_placement(torus)
+        s = placement_summary(p)
+        assert s.size == 36
+        assert s.uniform
+        assert s.uniform_dims == (0, 1, 2)
+        assert s.density == 36 / 216
+        assert s.min_layer_count == s.max_layer_count == 6
+
+    def test_as_row(self):
+        s = placement_summary(linear_placement(Torus(4, 2)))
+        row = s.as_row()
+        assert row[0] == "linear(c=0)"
+        assert row[3] == 4

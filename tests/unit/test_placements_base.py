@@ -1,0 +1,83 @@
+"""Unit tests for repro.placements.base."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.placements.base import Placement
+from repro.torus.topology import Torus
+
+
+class TestConstruction:
+    def test_sorted_deduplicated(self, torus_4_2):
+        p = Placement(torus_4_2, [5, 3, 5, 1])
+        assert p.node_ids.tolist() == [1, 3, 5]
+
+    def test_empty_rejected(self, torus_4_2):
+        with pytest.raises(PlacementError):
+            Placement(torus_4_2, [])
+
+    def test_out_of_range_rejected(self, torus_4_2):
+        with pytest.raises(PlacementError):
+            Placement(torus_4_2, [16])
+        with pytest.raises(PlacementError):
+            Placement(torus_4_2, [-1])
+
+    def test_len_and_size(self, torus_4_2):
+        p = Placement(torus_4_2, [0, 1, 2])
+        assert len(p) == p.size == 3
+
+
+class TestQueries:
+    def test_coords_sorted_by_id(self, torus_4_2):
+        p = Placement(torus_4_2, [4, 0])
+        assert p.coords().tolist() == [[0, 0], [1, 0]]
+
+    def test_contains(self, torus_4_2):
+        p = Placement(torus_4_2, [2, 7])
+        assert p.contains(2) and p.contains(7)
+        assert not p.contains(3)
+
+    def test_contains_coord(self, torus_4_2):
+        p = Placement(torus_4_2, [torus_4_2.node_id((1, 2))])
+        assert p.contains_coord((1, 2))
+        assert not p.contains_coord((2, 1))
+
+    def test_mask(self, torus_4_2):
+        p = Placement(torus_4_2, [0, 15])
+        m = p.mask()
+        assert m[0] and m[15] and m.sum() == 2
+
+    def test_ordered_pairs_count(self, torus_4_2):
+        p = Placement(torus_4_2, [0, 1, 2, 3])
+        assert p.ordered_pairs_count() == 12
+
+    def test_complement(self, torus_4_2):
+        p = Placement(torus_4_2, [0, 1])
+        c = p.complement()
+        assert len(c) == 14
+        assert not c.contains(0)
+
+    def test_restrict(self, torus_4_2):
+        p = Placement(torus_4_2, [0, 1, 2, 3])
+        keep = np.array([True, False, True, False])
+        r = p.restrict(keep)
+        assert r.node_ids.tolist() == [0, 2]
+
+    def test_restrict_bad_mask(self, torus_4_2):
+        p = Placement(torus_4_2, [0, 1])
+        with pytest.raises(PlacementError):
+            p.restrict(np.array([True]))
+
+
+class TestEquality:
+    def test_equal(self, torus_4_2):
+        assert Placement(torus_4_2, [1, 2]) == Placement(torus_4_2, [2, 1])
+
+    def test_unequal_different_torus(self):
+        a = Placement(Torus(4, 2), [0])
+        b = Placement(Torus(5, 2), [0])
+        assert a != b
+
+    def test_hashable(self, torus_4_2):
+        assert hash(Placement(torus_4_2, [1])) == hash(Placement(torus_4_2, [1]))

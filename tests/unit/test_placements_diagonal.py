@@ -1,0 +1,50 @@
+"""Unit tests for repro.placements.diagonal."""
+
+import pytest
+
+from repro.placements.analysis import is_uniform
+from repro.placements.diagonal import (
+    antidiagonal_placement_2d,
+    shifted_diagonal_placement,
+)
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+
+
+class TestShiftedDiagonal:
+    def test_equals_linear_with_offset(self):
+        torus = Torus(5, 2)
+        assert shifted_diagonal_placement(torus, 2) == linear_placement(
+            torus, offset=2
+        )
+
+    def test_2d_shape(self):
+        torus = Torus(4, 2)
+        p = shifted_diagonal_placement(torus, 1)
+        for i, j in p.coords().tolist():
+            assert (i + j) % 4 == 1
+
+    def test_3d_size(self):
+        # Blaum et al.'s k^2 processors on T_k^3
+        assert len(shifted_diagonal_placement(Torus(4, 3))) == 16
+
+    def test_name(self):
+        assert "shifted-diagonal" in shifted_diagonal_placement(Torus(4, 2)).name
+
+
+class TestAntidiagonal:
+    def test_membership(self):
+        torus = Torus(5, 2)
+        p = antidiagonal_placement_2d(torus, 2)
+        for i, j in p.coords().tolist():
+            assert j == (i + 2) % 5
+
+    def test_size(self):
+        assert len(antidiagonal_placement_2d(Torus(6, 2))) == 6
+
+    def test_uniform(self):
+        assert is_uniform(antidiagonal_placement_2d(Torus(5, 2)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            antidiagonal_placement_2d(Torus(4, 3))

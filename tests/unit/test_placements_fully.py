@@ -1,0 +1,64 @@
+"""Unit tests for repro.placements.fully."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.placements.analysis import is_uniform, uniform_dimensions
+from repro.placements.fully import (
+    FullyPopulatedFamily,
+    block_placement,
+    fully_populated_placement,
+    single_subtorus_placement,
+)
+from repro.torus.topology import Torus
+
+
+class TestFullyPopulated:
+    def test_size(self, torus_4_3):
+        assert len(fully_populated_placement(torus_4_3)) == 64
+
+    def test_uniform(self, torus_4_2):
+        assert is_uniform(fully_populated_placement(torus_4_2))
+
+    def test_family(self):
+        fam = FullyPopulatedFamily()
+        assert fam.expected_size(4, 3) == 64
+        assert len(fam.build(4, 3)) == 64
+        assert fam.is_uniform_by_construction()
+
+
+class TestBlockPlacement:
+    def test_size(self, torus_4_2):
+        assert len(block_placement(torus_4_2, 2)) == 4
+
+    def test_membership(self, torus_4_2):
+        p = block_placement(torus_4_2, 2)
+        for c in p.coords().tolist():
+            assert max(c) <= 1
+
+    def test_not_uniform(self, torus_4_2):
+        assert not is_uniform(block_placement(torus_4_2, 2))
+
+    def test_full_side_is_everything(self, torus_4_2):
+        assert len(block_placement(torus_4_2, 4)) == 16
+
+    def test_invalid_side(self, torus_4_2):
+        with pytest.raises(InvalidParameterError):
+            block_placement(torus_4_2, 0)
+        with pytest.raises(InvalidParameterError):
+            block_placement(torus_4_2, 5)
+
+
+class TestSingleSubtorus:
+    def test_size_matches_linear(self, torus_4_3):
+        assert len(single_subtorus_placement(torus_4_3)) == 16
+
+    def test_uniform_only_off_axis(self, torus_4_3):
+        p = single_subtorus_placement(torus_4_3, dim=0)
+        dims = uniform_dimensions(p)
+        assert 0 not in dims
+        assert set(dims) == {1, 2}
+
+    def test_nonzero_value(self, torus_4_2):
+        p = single_subtorus_placement(torus_4_2, dim=1, value=2)
+        assert all(c[1] == 2 for c in p.coords().tolist())

@@ -1,0 +1,101 @@
+"""Unit tests for repro.placements.linear."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.placements.analysis import is_uniform
+from repro.placements.linear import (
+    LinearPlacementFamily,
+    linear_placement,
+    modular_inverse,
+    solve_linear_congruence,
+)
+from repro.torus.topology import Torus
+
+
+class TestModularInverse:
+    def test_basic(self):
+        assert modular_inverse(3, 7) == 5
+        assert (3 * modular_inverse(3, 7)) % 7 == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(InvalidParameterError):
+            modular_inverse(2, 4)
+
+    def test_one(self):
+        assert modular_inverse(1, 9) == 1
+
+
+class TestSolveCongruence:
+    def test_count(self):
+        coords = solve_linear_congruence(5, 3, None, 0)
+        assert coords.shape == (25, 3)
+
+    def test_all_satisfy(self):
+        coords = solve_linear_congruence(6, 3, None, 2)
+        assert np.all(coords.sum(axis=1) % 6 == 2)
+
+    def test_general_coefficients(self):
+        coeffs = [2, 3]  # 3 coprime to 4
+        coords = solve_linear_congruence(4, 2, coeffs, 1)
+        assert np.all((coords @ np.array(coeffs)) % 4 == 1)
+        assert coords.shape == (4, 2)
+
+    def test_no_invertible_coefficient_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_linear_congruence(6, 2, [2, 3], 0)  # gcd(2,6)=2, gcd(3,6)=3
+
+    def test_wrong_length_coefficients(self):
+        with pytest.raises(InvalidParameterError):
+            solve_linear_congruence(4, 2, [1, 1, 1], 0)
+
+    def test_d1(self):
+        coords = solve_linear_congruence(7, 1, None, 3)
+        assert coords.tolist() == [[3]]
+
+    def test_solutions_distinct(self):
+        coords = solve_linear_congruence(4, 3, None, 0)
+        as_tuples = {tuple(c) for c in coords.tolist()}
+        assert len(as_tuples) == 16
+
+
+class TestLinearPlacement:
+    def test_size_law(self):
+        for k, d in [(4, 2), (5, 2), (4, 3), (3, 4)]:
+            p = linear_placement(Torus(k, d))
+            assert len(p) == k ** (d - 1)
+
+    def test_uniform(self):
+        assert is_uniform(linear_placement(Torus(6, 3)))
+
+    def test_offsets_partition_torus(self):
+        torus = Torus(4, 2)
+        ids = np.concatenate(
+            [linear_placement(torus, offset=c).node_ids for c in range(4)]
+        )
+        assert np.array_equal(np.sort(ids), np.arange(16))
+
+    def test_diagonal_d2(self):
+        p = linear_placement(Torus(3, 2))
+        assert {tuple(c) for c in p.coords().tolist()} == {
+            (0, 0),
+            (1, 2),
+            (2, 1),
+        }
+
+    def test_name_generated(self):
+        assert linear_placement(Torus(4, 2), offset=1).name == "linear(c=1)"
+
+
+class TestLinearFamily:
+    def test_build_matches_function(self):
+        fam = LinearPlacementFamily()
+        assert fam.build(4, 2) == linear_placement(Torus(4, 2))
+
+    def test_expected_size(self):
+        fam = LinearPlacementFamily()
+        assert fam.expected_size(6, 3) == 36
+
+    def test_uniform_by_construction(self):
+        assert LinearPlacementFamily().is_uniform_by_construction()

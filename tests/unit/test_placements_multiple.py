@@ -1,0 +1,64 @@
+"""Unit tests for repro.placements.multiple."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.placements.analysis import is_uniform
+from repro.placements.linear import linear_placement
+from repro.placements.multiple import (
+    MultipleLinearPlacementFamily,
+    multiple_linear_placement,
+)
+from repro.torus.topology import Torus
+
+
+class TestMultipleLinear:
+    def test_size_law(self):
+        torus = Torus(6, 3)
+        for t in (1, 2, 3):
+            assert len(multiple_linear_placement(torus, t)) == t * 36
+
+    def test_t1_equals_linear(self):
+        torus = Torus(5, 2)
+        assert multiple_linear_placement(torus, 1) == linear_placement(torus)
+
+    def test_classes_disjoint_union(self):
+        torus = Torus(4, 2)
+        p = multiple_linear_placement(torus, 2)
+        sums = p.coords().sum(axis=1) % 4
+        assert set(sums.tolist()) == {0, 1}
+
+    def test_base_offset(self):
+        torus = Torus(5, 2)
+        p = multiple_linear_placement(torus, 2, base_offset=3)
+        sums = set((p.coords().sum(axis=1) % 5).tolist())
+        assert sums == {3, 4}
+
+    def test_uniform(self):
+        assert is_uniform(multiple_linear_placement(Torus(6, 3), 3))
+
+    def test_t_equals_k_is_full(self):
+        torus = Torus(3, 2)
+        p = multiple_linear_placement(torus, 3)
+        assert len(p) == torus.num_nodes
+
+    def test_invalid_t(self):
+        torus = Torus(4, 2)
+        with pytest.raises(InvalidParameterError):
+            multiple_linear_placement(torus, 0)
+        with pytest.raises(InvalidParameterError):
+            multiple_linear_placement(torus, 5)
+
+
+class TestFamily:
+    def test_expected_size(self):
+        assert MultipleLinearPlacementFamily(2).expected_size(6, 3) == 72
+
+    def test_build(self):
+        fam = MultipleLinearPlacementFamily(2)
+        assert len(fam.build(4, 2)) == 8
+
+    def test_invalid_t(self):
+        with pytest.raises(InvalidParameterError):
+            MultipleLinearPlacementFamily(0)

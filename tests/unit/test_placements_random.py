@@ -1,0 +1,57 @@
+"""Unit tests for repro.placements.random_placement."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.placements.analysis import layer_counts, uniform_dimensions
+from repro.placements.random_placement import (
+    random_placement,
+    random_uniform_placement,
+)
+from repro.torus.topology import Torus
+
+
+class TestRandomPlacement:
+    def test_size(self, torus_4_3):
+        assert len(random_placement(torus_4_3, 10, seed=0)) == 10
+
+    def test_reproducible(self, torus_4_3):
+        a = random_placement(torus_4_3, 10, seed=1)
+        b = random_placement(torus_4_3, 10, seed=1)
+        assert a == b
+
+    def test_different_seeds_differ(self, torus_4_3):
+        a = random_placement(torus_4_3, 20, seed=1)
+        b = random_placement(torus_4_3, 20, seed=2)
+        assert a != b
+
+    def test_size_bounds(self, torus_4_2):
+        with pytest.raises(InvalidParameterError):
+            random_placement(torus_4_2, 0)
+        with pytest.raises(InvalidParameterError):
+            random_placement(torus_4_2, 17)
+
+    def test_full_size_is_all_nodes(self, torus_4_2):
+        p = random_placement(torus_4_2, 16, seed=0)
+        assert len(p) == 16
+
+
+class TestRandomUniformPlacement:
+    def test_uniform_along_requested_dim(self, torus_4_3):
+        p = random_uniform_placement(torus_4_3, per_layer=3, dim=1, seed=0)
+        assert 1 in uniform_dimensions(p)
+        assert layer_counts(p, 1).tolist() == [3, 3, 3, 3]
+
+    def test_total_size(self, torus_4_2):
+        p = random_uniform_placement(torus_4_2, per_layer=2, seed=0)
+        assert len(p) == 8
+
+    def test_per_layer_bounds(self, torus_4_2):
+        with pytest.raises(InvalidParameterError):
+            random_uniform_placement(torus_4_2, per_layer=0)
+        with pytest.raises(InvalidParameterError):
+            random_uniform_placement(torus_4_2, per_layer=5)
+
+    def test_bad_dim(self, torus_4_2):
+        with pytest.raises(InvalidParameterError):
+            random_uniform_placement(torus_4_2, per_layer=1, dim=2)

@@ -1,0 +1,44 @@
+"""Unit tests for repro.placements.registry."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.placements.base import PlacementFamily
+from repro.placements.registry import family_names, get_family, register_family
+
+
+class TestRegistry:
+    def test_known_families(self):
+        names = family_names()
+        assert "linear" in names
+        assert "fully-populated" in names
+
+    def test_get_family_builds(self):
+        fam = get_family("linear")
+        assert len(fam.build(4, 2)) == 4
+
+    def test_multilinear_variants(self):
+        assert get_family("multilinear-t2").expected_size(4, 2) == 8
+        assert get_family("multilinear-t3").expected_size(4, 2) == 12
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidParameterError):
+            get_family("no-such-family")
+
+    def test_register_custom(self):
+        class Dummy(PlacementFamily):
+            name = "dummy"
+
+            def build(self, k, d):
+                raise NotImplementedError
+
+            def expected_size(self, k, d):
+                return 0
+
+        register_family("dummy-test", Dummy)
+        assert "dummy-test" in family_names()
+        assert isinstance(get_family("dummy-test"), Dummy)
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_family("", lambda: None)

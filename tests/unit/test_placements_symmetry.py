@@ -1,0 +1,99 @@
+"""Unit tests for repro.torus.symmetry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.base import Placement
+from repro.placements.diagonal import antidiagonal_placement_2d
+from repro.placements.linear import linear_placement
+from repro.placements.symmetry import (
+    are_equivalent_placements,
+    canonical_form,
+    permute_dimensions,
+    reflect_dimensions,
+    translate_placement,
+)
+from repro.torus.topology import Torus
+
+
+class TestGroupAction:
+    def test_translate_identity(self, linear_4_2):
+        assert translate_placement(linear_4_2, [0, 0]) == linear_4_2
+
+    def test_translate_composition(self, linear_4_2):
+        once = translate_placement(linear_4_2, [1, 2])
+        twice = translate_placement(once, [3, 2])
+        assert twice == translate_placement(linear_4_2, [0, 0])
+
+    def test_translate_preserves_size(self, linear_4_3):
+        assert len(translate_placement(linear_4_3, [1, 2, 3])) == len(linear_4_3)
+
+    def test_translate_bad_offset(self, linear_4_2):
+        with pytest.raises(InvalidParameterError):
+            translate_placement(linear_4_2, [1])
+
+    def test_permute_involution(self, linear_4_2):
+        swapped = permute_dimensions(linear_4_2, [1, 0])
+        assert permute_dimensions(swapped, [1, 0]) == linear_4_2
+
+    def test_permute_bad_perm(self, linear_4_2):
+        with pytest.raises(InvalidParameterError):
+            permute_dimensions(linear_4_2, [0, 0])
+
+    def test_reflect_involution(self, linear_4_2):
+        once = reflect_dimensions(linear_4_2, [0])
+        assert reflect_dimensions(once, [0]) == linear_4_2
+
+    def test_reflect_bad_dim(self, linear_4_2):
+        with pytest.raises(InvalidParameterError):
+            reflect_dimensions(linear_4_2, [2])
+
+
+class TestEquivalence:
+    def test_offsets_are_translates(self):
+        torus = Torus(5, 2)
+        a = linear_placement(torus, offset=0)
+        b = linear_placement(torus, offset=2)
+        assert are_equivalent_placements(a, b, translations_only=True)
+
+    def test_antidiagonal_is_reflection(self):
+        torus = Torus(5, 2)
+        diag = linear_placement(torus)
+        anti = antidiagonal_placement_2d(torus)
+        assert are_equivalent_placements(diag, anti)
+        assert not are_equivalent_placements(diag, anti, translations_only=True)
+
+    def test_different_sizes_not_equivalent(self, torus_4_2):
+        a = Placement(torus_4_2, [0, 1])
+        b = Placement(torus_4_2, [0, 1, 2])
+        assert not are_equivalent_placements(a, b)
+
+    def test_different_tori_not_equivalent(self):
+        a = Placement(Torus(4, 2), [0])
+        b = Placement(Torus(5, 2), [0])
+        assert not are_equivalent_placements(a, b)
+
+    def test_canonical_form_idempotent(self):
+        torus = Torus(4, 2)
+        p = linear_placement(torus, offset=3)
+        c1 = canonical_form(p, translations_only=True)
+        c2 = canonical_form(c1, translations_only=True)
+        assert c1 == c2
+
+
+class TestLoadInvariance:
+    def test_emax_invariant_under_translation(self):
+        torus = Torus(5, 2)
+        p = linear_placement(torus)
+        q = translate_placement(p, [2, 3])
+        assert odr_edge_loads(p).max() == odr_edge_loads(q).max()
+
+    def test_load_multiset_invariant_under_permutation(self):
+        torus = Torus(5, 2)
+        p = linear_placement(torus)
+        q = permute_dimensions(p, [1, 0])
+        assert np.array_equal(
+            np.sort(odr_edge_loads(p)), np.sort(odr_edge_loads(q))
+        )

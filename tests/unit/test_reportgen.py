@@ -1,0 +1,27 @@
+"""Unit tests for repro.experiments.reportgen and the CLI --write flag."""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.experiments.reportgen import write_report
+
+
+class TestWriteReport:
+    def test_writes_markdown(self, tmp_path):
+        out = write_report(tmp_path / "report.md", quick=True)
+        text = Path(out).read_text()
+        assert text.startswith("# Reproduction experiment report")
+        assert "23/23 experiments passed" in text
+
+    def test_creates_parent_dirs(self, tmp_path):
+        out = write_report(tmp_path / "nested" / "dir" / "r.md", quick=True)
+        assert Path(out).exists()
+
+
+class TestCliWrite:
+    def test_experiments_write_flag(self, tmp_path, capsys):
+        target = tmp_path / "cli_report.md"
+        code = main(["experiments", "--quick", "--write", str(target)])
+        assert code == 0
+        assert target.exists()
+        assert "report written to" in capsys.readouterr().out

@@ -1,0 +1,64 @@
+"""Unit tests for repro.routing.base."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.base import Path, walk_moves
+
+
+class TestPath:
+    def test_lengths(self):
+        p = Path(nodes=(0, 1, 2), edge_ids=(10, 11))
+        assert p.length == 2
+        assert p.source == 0
+        assert p.destination == 2
+
+    def test_uses_edge(self):
+        p = Path(nodes=(0, 1), edge_ids=(42,))
+        assert p.uses_edge(42)
+        assert not p.uses_edge(43)
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(RoutingError):
+            Path(nodes=(0, 1), edge_ids=())
+
+    def test_zero_length(self):
+        p = Path(nodes=(5,), edge_ids=())
+        assert p.length == 0
+        assert p.source == p.destination == 5
+
+
+class TestWalkMoves:
+    def test_empty_moves(self, torus_4_2):
+        p = walk_moves(torus_4_2, (1, 1), [])
+        assert p.length == 0
+        assert p.source == torus_4_2.node_id((1, 1))
+
+    def test_single_step(self, torus_4_2):
+        p = walk_moves(torus_4_2, (0, 0), [(1, +1)])
+        assert p.destination == torus_4_2.node_id((0, 1))
+        e = torus_4_2.edges.decode(p.edge_ids[0])
+        assert e.dim == 1 and e.sign == +1
+
+    def test_wraparound_walk(self, torus_4_2):
+        p = walk_moves(torus_4_2, (0, 3), [(1, +1)])
+        assert p.destination == torus_4_2.node_id((0, 0))
+
+    def test_multi_dim_walk(self, torus_4_2):
+        moves = [(0, +1), (0, +1), (1, -1)]
+        p = walk_moves(torus_4_2, (0, 0), moves)
+        assert p.destination == torus_4_2.node_id((2, 3))
+        assert p.length == 3
+
+    def test_invalid_move(self, torus_4_2):
+        with pytest.raises(RoutingError):
+            walk_moves(torus_4_2, (0, 0), [(2, +1)])
+        with pytest.raises(RoutingError):
+            walk_moves(torus_4_2, (0, 0), [(0, 0)])
+
+    def test_edges_connect_nodes(self, torus_5_2):
+        p = walk_moves(torus_5_2, (1, 2), [(0, +1), (1, +1), (0, -1)])
+        for idx, eid in enumerate(p.edge_ids):
+            e = torus_5_2.edges.decode(eid)
+            assert e.tail == p.nodes[idx]
+            assert e.head == p.nodes[idx + 1]

@@ -1,0 +1,46 @@
+"""Unit tests for repro.routing.cyclic."""
+
+from repro.routing.cyclic import correction_options, corrections, signed_moves
+
+
+class TestCorrections:
+    def test_basic(self):
+        assert corrections((0, 0), (2, 4), 5) == [2, -1]
+
+    def test_tie_resolves_plus(self):
+        assert corrections((0,), (3,), 6) == [3]
+
+    def test_zero(self):
+        assert corrections((1, 2), (1, 2), 5) == [0, 0]
+
+    def test_sum_abs_is_lee(self):
+        from repro.util.modular import lee_distance
+
+        for k in (4, 5, 7):
+            p, q = (0, 1), (3, 3)
+            deltas = corrections(p, q, k)
+            assert sum(abs(x) for x in deltas) == lee_distance(p, q, k)
+
+
+class TestCorrectionOptions:
+    def test_no_tie_single_option(self):
+        opts = correction_options((0,), (2,), 5)
+        assert opts == [(2,)]
+
+    def test_tie_gives_both(self):
+        opts = correction_options((0,), (2,), 4)
+        assert set(opts[0]) == {2, -2}
+
+    def test_zero_option(self):
+        assert correction_options((3,), (3,), 4) == [(0,)]
+
+
+class TestSignedMoves:
+    def test_positive(self):
+        assert signed_moves(1, 3) == [(1, 1)] * 3
+
+    def test_negative(self):
+        assert signed_moves(0, -2) == [(0, -1)] * 2
+
+    def test_zero(self):
+        assert signed_moves(2, 0) == []

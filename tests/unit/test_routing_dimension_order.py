@@ -1,0 +1,42 @@
+"""Unit tests for repro.routing.dimension_order."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+class TestDimensionOrderRouting:
+    def test_custom_order_respected(self, torus_5_2):
+        dor = DimensionOrderRouting([1, 0])
+        path = dor.path(torus_5_2, (0, 0), (2, 2))
+        dims = [torus_5_2.edges.decode(e).dim for e in path.edge_ids]
+        assert dims == [1, 1, 0, 0]
+
+    def test_odr_is_ascending_order(self, torus_5_2):
+        odr = OrderedDimensionalRouting(2)
+        dor = DimensionOrderRouting([0, 1])
+        assert odr.path(torus_5_2, (1, 2), (4, 0)) == dor.path(
+            torus_5_2, (1, 2), (4, 0)
+        )
+
+    def test_all_orders_reach_destination(self):
+        torus = Torus(4, 3)
+        import itertools
+
+        for order in itertools.permutations(range(3)):
+            dor = DimensionOrderRouting(order)
+            path = dor.path(torus, (0, 1, 2), (3, 3, 0))
+            assert path.destination == torus.node_id((3, 3, 0))
+            assert path.length == torus.lee_distance((0, 1, 2), (3, 3, 0))
+
+    def test_invalid_order(self):
+        with pytest.raises(RoutingError):
+            DimensionOrderRouting([0, 0])
+        with pytest.raises(RoutingError):
+            DimensionOrderRouting([1, 2])
+
+    def test_num_paths_is_one(self, torus_4_2):
+        assert DimensionOrderRouting([0, 1]).num_paths(torus_4_2, (0, 0), (1, 1)) == 1

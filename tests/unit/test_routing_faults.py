@@ -1,0 +1,55 @@
+"""Unit tests for repro.routing.faults."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.faults import FaultMaskedRouting
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+class TestFaultMasking:
+    def test_no_failures_passthrough(self, torus_5_2):
+        odr = OrderedDimensionalRouting(2)
+        masked = FaultMaskedRouting(odr, [])
+        assert masked.paths(torus_5_2, (0, 0), (2, 2)) == odr.paths(
+            torus_5_2, (0, 0), (2, 2)
+        )
+
+    def test_odr_single_failure_disconnects(self, torus_5_2):
+        odr = OrderedDimensionalRouting(2)
+        path = odr.path(torus_5_2, (0, 0), (2, 2))
+        masked = FaultMaskedRouting(odr, [path.edge_ids[0]])
+        assert not masked.is_connected(torus_5_2, (0, 0), (2, 2))
+        with pytest.raises(RoutingError):
+            masked.paths(torus_5_2, (0, 0), (2, 2))
+
+    def test_udr_survives_single_failure(self, torus_5_2):
+        udr = UnorderedDimensionalRouting()
+        odr_first_edge = udr.paths(torus_5_2, (0, 0), (2, 2))[0].edge_ids[0]
+        masked = FaultMaskedRouting(udr, [odr_first_edge])
+        assert masked.is_connected(torus_5_2, (0, 0), (2, 2))
+        # exactly one of the two UDR paths starts with the failed edge
+        surviving = masked.surviving_paths(torus_5_2, (0, 0), (2, 2))
+        assert len(surviving) == 1
+
+    def test_unaffected_pairs_keep_all_paths(self, torus_5_2):
+        udr = UnorderedDimensionalRouting()
+        # fail an edge far from the (0,0)->(1,0) route
+        far_edge = torus_5_2.edges.edge_id(torus_5_2.node_id((3, 3)), 0, +1)
+        masked = FaultMaskedRouting(udr, [far_edge])
+        assert len(masked.paths(torus_5_2, (0, 0), (1, 0))) == 1
+
+    def test_name_reports_failures(self):
+        odr = OrderedDimensionalRouting(2)
+        assert "faults(3)" in FaultMaskedRouting(odr, [1, 2, 3]).name
+
+    def test_all_paths_blocked_multi(self):
+        torus = Torus(5, 2)
+        udr = UnorderedDimensionalRouting()
+        paths = udr.paths(torus, (0, 0), (1, 1))
+        # kill the first edge of both paths
+        failed = [p.edge_ids[0] for p in paths]
+        masked = FaultMaskedRouting(udr, failed)
+        assert not masked.is_connected(torus, (0, 0), (1, 1))

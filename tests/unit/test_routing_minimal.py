@@ -1,0 +1,69 @@
+"""Unit tests for repro.routing.minimal."""
+
+import math
+
+from repro.routing.minimal import AllMinimalPaths, count_minimal_paths
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+class TestCountMinimalPaths:
+    def test_single_dim(self, torus_5_2):
+        assert count_minimal_paths(torus_5_2, (0, 0), (2, 0)) == 1
+
+    def test_multinomial(self, torus_5_2):
+        # deltas (2, 2): C(4,2) = 6
+        assert count_minimal_paths(torus_5_2, (0, 0), (2, 2)) == 6
+
+    def test_tie_doubles(self):
+        torus = Torus(4, 2)
+        # deltas (2*, 1), one tie: 2 * C(3,1) = 6
+        assert count_minimal_paths(torus, (0, 0), (2, 1)) == 6
+
+    def test_double_tie(self):
+        torus = Torus(4, 2)
+        # deltas (2*, 2*): 4 * C(4,2) = 24
+        assert count_minimal_paths(torus, (0, 0), (2, 2)) == 24
+
+    def test_self_pair(self, torus_4_2):
+        assert count_minimal_paths(torus_4_2, (1, 2), (1, 2)) == 1
+
+    def test_3d(self):
+        torus = Torus(7, 3)
+        # deltas (1,2,3): 6!/(1!2!3!) = 60
+        assert count_minimal_paths(torus, (0, 0, 0), (1, 2, 3)) == 60
+
+
+class TestAllMinimalPaths:
+    def test_enumeration_matches_count(self):
+        torus = Torus(4, 2)
+        algo = AllMinimalPaths()
+        for p, q in [((0, 0), (1, 1)), ((0, 0), (2, 1)), ((0, 0), (2, 2)),
+                     ((1, 3), (3, 0))]:
+            paths = algo.paths(torus, p, q)
+            assert len(paths) == count_minimal_paths(torus, p, q)
+            assert len({path.nodes for path in paths}) == len(paths)
+
+    def test_all_paths_minimal(self, torus_5_2):
+        algo = AllMinimalPaths()
+        lee = torus_5_2.lee_distance((0, 0), (2, 3))
+        for path in algo.paths(torus_5_2, (0, 0), (2, 3)):
+            assert path.length == lee
+
+    def test_superset_of_udr(self, torus_5_2):
+        allmin = AllMinimalPaths()
+        udr = UnorderedDimensionalRouting()
+        p, q = (0, 0), (2, 2)
+        all_nodes = {path.nodes for path in allmin.paths(torus_5_2, p, q)}
+        udr_nodes = {path.nodes for path in udr.paths(torus_5_2, p, q)}
+        assert udr_nodes <= all_nodes
+
+    def test_num_paths_uses_closed_form(self, torus_4_2):
+        algo = AllMinimalPaths()
+        assert algo.num_paths(torus_4_2, (0, 0), (2, 2)) == 24
+
+    def test_paths_end_at_destination(self, torus_4_2):
+        algo = AllMinimalPaths()
+        dst = torus_4_2.node_id((2, 1))
+        for path in algo.paths(torus_4_2, (0, 0), (2, 1)):
+            assert path.destination == dst

@@ -1,0 +1,63 @@
+"""Unit tests for repro.routing.odr (and the paper's canonical path shape)."""
+
+import pytest
+
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+class TestCanonicalPath:
+    def test_single_path(self, torus_5_2):
+        odr = OrderedDimensionalRouting(2)
+        paths = odr.paths(torus_5_2, (0, 0), (2, 3))
+        assert len(paths) == 1
+        assert odr.num_paths(torus_5_2, (0, 0), (2, 3)) == 1
+
+    def test_path_is_minimal(self, torus_5_2):
+        odr = OrderedDimensionalRouting(2)
+        p = odr.path(torus_5_2, (0, 0), (2, 3))
+        assert p.length == torus_5_2.lee_distance((0, 0), (2, 3))
+
+    def test_paper_node_sequence(self):
+        # p -> (q1, p2, ..., pd) -> (q1, q2, p3, ...) -> ... -> q
+        torus = Torus(5, 3)
+        odr = OrderedDimensionalRouting(3)
+        p, q = (0, 0, 0), (1, 1, 1)
+        path = odr.path(torus, p, q)
+        visited = [torus.coord(n) for n in path.nodes]
+        assert (1, 0, 0) in visited
+        assert (1, 1, 0) in visited
+        assert visited[0] == p and visited[-1] == q
+
+    def test_dimension_order_ascending(self, torus_5_2):
+        odr = OrderedDimensionalRouting(2)
+        path = odr.path(torus_5_2, (0, 0), (2, 2))
+        dims = [torus_5_2.edges.decode(e).dim for e in path.edge_ids]
+        assert dims == sorted(dims)
+
+    def test_tie_corrects_plus(self):
+        torus = Torus(4, 1)
+        odr = OrderedDimensionalRouting(1)
+        path = odr.path(torus, (0,), (2,))
+        # + direction: 0 -> 1 -> 2
+        assert [torus.coord(n)[0] for n in path.nodes] == [0, 1, 2]
+
+    def test_self_path_empty(self, torus_4_2):
+        odr = OrderedDimensionalRouting(2)
+        assert odr.path(torus_4_2, (1, 1), (1, 1)).length == 0
+
+    def test_wrong_dimensionality(self, torus_4_2):
+        from repro.errors import RoutingError
+
+        odr = OrderedDimensionalRouting(3)
+        with pytest.raises(RoutingError):
+            odr.path(torus_4_2, (0, 0), (1, 1))
+
+    def test_name(self):
+        assert OrderedDimensionalRouting(2).name == "ODR"
+
+    def test_canonical_path_alias(self, torus_4_2):
+        odr = OrderedDimensionalRouting(2)
+        assert odr.canonical_path(torus_4_2, (0, 0), (1, 2)) == odr.path(
+            torus_4_2, (0, 0), (1, 2)
+        )

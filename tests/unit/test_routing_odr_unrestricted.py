@@ -1,0 +1,67 @@
+"""Unit tests for repro.routing.odr_unrestricted."""
+
+import numpy as np
+import pytest
+
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.odr_unrestricted import UnrestrictedODR
+from repro.torus.topology import Torus
+
+
+class TestPathSet:
+    def test_odd_k_single_path(self, torus_5_2):
+        algo = UnrestrictedODR()
+        for q in [(2, 3), (4, 4), (1, 0)]:
+            paths = algo.paths(torus_5_2, (0, 0), q)
+            assert len(paths) == 1
+            assert algo.num_paths(torus_5_2, (0, 0), q) == 1
+
+    def test_even_k_tie_branches(self, torus_4_2):
+        algo = UnrestrictedODR()
+        # both coordinates tied: 2^2 = 4 paths
+        paths = algo.paths(torus_4_2, (0, 0), (2, 2))
+        assert len(paths) == 4
+        assert algo.num_paths(torus_4_2, (0, 0), (2, 2)) == 4
+
+    def test_all_paths_minimal_and_dimension_ordered(self, torus_4_2):
+        algo = UnrestrictedODR()
+        lee = torus_4_2.lee_distance((0, 0), (2, 1))
+        for path in algo.paths(torus_4_2, (0, 0), (2, 1)):
+            assert path.length == lee
+            dims = [torus_4_2.edges.decode(e).dim for e in path.edge_ids]
+            assert dims == sorted(dims)
+
+    def test_matches_restricted_when_no_ties(self, torus_5_2):
+        restricted = OrderedDimensionalRouting(2)
+        unrestricted = UnrestrictedODR()
+        p, q = (1, 2), (4, 0)
+        assert unrestricted.paths(torus_5_2, p, q) == restricted.paths(
+            torus_5_2, p, q
+        )
+
+    def test_restricted_path_always_included(self, torus_4_2):
+        restricted = OrderedDimensionalRouting(2)
+        unrestricted = UnrestrictedODR()
+        p, q = (0, 0), (2, 1)
+        r_path = restricted.path(torus_4_2, p, q)
+        u_nodes = {path.nodes for path in unrestricted.paths(torus_4_2, p, q)}
+        assert r_path.nodes in u_nodes
+
+
+class TestLoadComparison:
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_unrestricted_never_worse(self, k):
+        p = linear_placement(Torus(k, 2))
+        restricted = odr_edge_loads(p)
+        unrestricted = edge_loads_reference(p, UnrestrictedODR())
+        assert unrestricted.max() <= restricted.max() + 1e-9
+        assert abs(unrestricted.sum() - restricted.sum()) < 1e-9
+
+    def test_odd_k_identical(self):
+        p = linear_placement(Torus(5, 2))
+        assert np.allclose(
+            odr_edge_loads(p), edge_loads_reference(p, UnrestrictedODR())
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for repro.routing.udr."""
+
+import itertools
+import math
+
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+class TestPathMultiplicity:
+    def test_s_factorial(self):
+        torus = Torus(5, 3)
+        udr = UnorderedDimensionalRouting()
+        cases = {
+            ((0, 0, 0), (1, 0, 0)): 1,
+            ((0, 0, 0), (1, 1, 0)): 2,
+            ((0, 0, 0), (1, 1, 1)): 6,
+        }
+        for (p, q), expected in cases.items():
+            assert len(udr.paths(torus, p, q)) == expected
+            assert udr.num_paths(torus, p, q) == expected
+
+    def test_self_pair(self, torus_4_2):
+        udr = UnorderedDimensionalRouting()
+        paths = udr.paths(torus_4_2, (1, 1), (1, 1))
+        assert len(paths) == 1 and paths[0].length == 0
+        assert udr.num_paths(torus_4_2, (1, 1), (1, 1)) == 1
+
+    def test_paths_distinct(self):
+        torus = Torus(5, 3)
+        udr = UnorderedDimensionalRouting()
+        paths = udr.paths(torus, (0, 0, 0), (2, 1, 2))
+        assert len({p.nodes for p in paths}) == 6
+
+
+class TestPathProperties:
+    def test_all_minimal(self, torus_5_2):
+        udr = UnorderedDimensionalRouting()
+        lee = torus_5_2.lee_distance((0, 1), (3, 4))
+        for path in udr.paths(torus_5_2, (0, 1), (3, 4)):
+            assert path.length == lee
+
+    def test_union_of_dimension_orders(self):
+        # UDR path set == { DOR(perm) path : perm in S_d } for each pair
+        torus = Torus(5, 3)
+        udr = UnorderedDimensionalRouting()
+        p, q = (0, 1, 2), (2, 3, 0)
+        udr_paths = {path.nodes for path in udr.paths(torus, p, q)}
+        dor_paths = {
+            DimensionOrderRouting(perm).path(torus, p, q).nodes
+            for perm in itertools.permutations(range(3))
+        }
+        assert udr_paths == dor_paths
+
+    def test_differing_dims(self, torus_5_2):
+        udr = UnorderedDimensionalRouting()
+        assert udr.differing_dims(torus_5_2, (0, 1), (0, 2)) == [1]
+        assert udr.differing_dims(torus_5_2, (0, 1), (3, 2)) == [0, 1]
+
+    def test_tie_uses_plus_direction(self):
+        # k even: the half-ring tie should still yield exactly s! paths
+        torus = Torus(4, 2)
+        udr = UnorderedDimensionalRouting()
+        paths = udr.paths(torus, (0, 0), (2, 2))
+        assert len(paths) == 2
+        for path in paths:
+            signs = {torus.edges.decode(e).sign for e in path.edge_ids}
+            assert signs == {+1}
+
+    def test_max_multiplicity_is_d_factorial(self):
+        torus = Torus(5, 4)
+        udr = UnorderedDimensionalRouting()
+        n = udr.num_paths(torus, (0, 0, 0, 0), (1, 2, 1, 2))
+        assert n == math.factorial(4)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.schedule.greedy."""
+
+import numpy as np
+import pytest
+
+from repro.placements.base import Placement
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.schedule.greedy import (
+    greedy_phase_schedule,
+    schedule_lower_bound,
+)
+from repro.torus.topology import Torus
+
+
+class TestLowerBound:
+    def test_ceil_of_max(self):
+        assert schedule_lower_bound(np.array([0.5, 2.4])) == 3
+        assert schedule_lower_bound(np.array([3.0])) == 3
+
+    def test_empty(self):
+        assert schedule_lower_bound(np.zeros(4)) == 0
+
+
+class TestGreedySchedule:
+    def test_all_messages_scheduled(self):
+        p = linear_placement(Torus(5, 2))
+        sched = greedy_phase_schedule(p, OrderedDimensionalRouting(2), seed=0)
+        assert sched.num_messages == 5 * 4
+        assert sched.validate()
+
+    def test_phases_link_disjoint(self):
+        p = linear_placement(Torus(4, 2))
+        sched = greedy_phase_schedule(p, OrderedDimensionalRouting(2), seed=0)
+        for phase in sched.phases:
+            used = []
+            for _s, _d, edges in phase:
+                used.extend(edges)
+            assert len(used) == len(set(used))
+
+    def test_phases_at_least_lower_bound(self):
+        for k, d in [(4, 2), (6, 2), (4, 3)]:
+            p = linear_placement(Torus(k, d))
+            for routing in (
+                OrderedDimensionalRouting(d),
+                UnorderedDimensionalRouting(),
+            ):
+                sched = greedy_phase_schedule(p, routing, seed=1)
+                assert sched.num_phases >= sched.lower_bound
+
+    def test_linear_placement_bandwidth_optimal_small(self):
+        # greedy hits the bound exactly on T_6^2 + ODR
+        p = linear_placement(Torus(6, 2))
+        sched = greedy_phase_schedule(p, OrderedDimensionalRouting(2), seed=0)
+        assert sched.num_phases == sched.lower_bound
+        assert sched.optimality_ratio == 1.0
+
+    def test_deterministic_given_seed(self):
+        p = linear_placement(Torus(5, 2))
+        a = greedy_phase_schedule(p, UnorderedDimensionalRouting(), seed=3)
+        b = greedy_phase_schedule(p, UnorderedDimensionalRouting(), seed=3)
+        assert a.phases == b.phases
+
+    def test_two_processor_placement(self):
+        torus = Torus(4, 2)
+        p = Placement(torus, [0, 5])
+        sched = greedy_phase_schedule(p, OrderedDimensionalRouting(2), seed=0)
+        assert sched.num_messages == 2
+        # the two opposite messages are link-disjoint: one phase suffices
+        assert sched.num_phases == 1
+
+    def test_validate_catches_tampering(self):
+        p = linear_placement(Torus(4, 2))
+        sched = greedy_phase_schedule(p, OrderedDimensionalRouting(2), seed=0)
+        from dataclasses import replace
+
+        # duplicating a message inside one phase breaks disjointness
+        first = sched.phases[0][0]
+        bad = replace(sched, phases=((first, first),) + sched.phases[1:])
+        assert not bad.validate()

@@ -1,0 +1,102 @@
+"""Unit tests for repro.sim.engine — the cycle-accurate core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import CycleEngine
+from repro.sim.network import SimNetwork
+from repro.sim.packet import Packet
+from repro.torus.topology import Torus
+
+
+def _path_edges(torus, coords_seq):
+    """Edge ids along consecutive coordinates."""
+    ei = torus.edges
+    ids = [torus.node_id(c) for c in coords_seq]
+    return tuple(
+        ei.edge_between(ids[i], ids[i + 1]) for i in range(len(ids) - 1)
+    )
+
+
+class TestBasicDelivery:
+    def test_single_packet_latency_equals_hops(self, torus_4_2):
+        edges = _path_edges(torus_4_2, [(0, 0), (0, 1), (0, 2)])
+        pkt = Packet(0, torus_4_2.node_id((0, 0)), torus_4_2.node_id((0, 2)), edges)
+        result = CycleEngine(SimNetwork(torus_4_2)).run([pkt])
+        assert result.delivered == 1
+        assert pkt.latency == 2
+        assert result.cycles == 2
+        assert result.max_link_count == 1
+
+    def test_zero_hop_packet(self, torus_4_2):
+        pkt = Packet(0, 3, 3, ())
+        result = CycleEngine(SimNetwork(torus_4_2)).run([pkt])
+        assert result.delivered == 1
+        assert pkt.latency == 0
+        assert result.cycles == 0
+
+    def test_empty_workload(self, torus_4_2):
+        result = CycleEngine(SimNetwork(torus_4_2)).run([])
+        assert result.delivered == 0
+        assert result.cycles == 0
+
+
+class TestContention:
+    def test_shared_link_serializes(self, torus_4_2):
+        # two packets over the same single link: second waits one cycle
+        edges = _path_edges(torus_4_2, [(0, 0), (0, 1)])
+        pkts = [
+            Packet(0, 0, 1, edges),
+            Packet(1, 0, 1, edges),
+        ]
+        result = CycleEngine(SimNetwork(torus_4_2)).run(pkts)
+        assert sorted(p.latency for p in pkts) == [1, 2]
+        assert result.link_counts[edges[0]] == 2
+        assert result.max_queue_length == 2
+
+    def test_disjoint_links_parallel(self, torus_4_2):
+        a = _path_edges(torus_4_2, [(0, 0), (0, 1)])
+        b = _path_edges(torus_4_2, [(1, 0), (1, 1)])
+        pkts = [Packet(0, 0, 1, a), Packet(1, 4, 5, b)]
+        result = CycleEngine(SimNetwork(torus_4_2)).run(pkts)
+        assert all(p.latency == 1 for p in pkts)
+        assert result.cycles == 1
+
+    def test_release_cycle_staggering(self, torus_4_2):
+        edges = _path_edges(torus_4_2, [(0, 0), (0, 1)])
+        pkts = [
+            Packet(0, 0, 1, edges, release_cycle=0),
+            Packet(1, 0, 1, edges, release_cycle=5),
+        ]
+        result = CycleEngine(SimNetwork(torus_4_2)).run(pkts)
+        assert pkts[0].latency == 1
+        assert pkts[1].latency == 1
+        assert result.cycles == 6
+
+
+class TestFailures:
+    def test_path_over_failed_link_rejected(self, torus_4_2):
+        edges = _path_edges(torus_4_2, [(0, 0), (0, 1)])
+        net = SimNetwork(torus_4_2, failed_edge_ids=[edges[0]])
+        with pytest.raises(SimulationError):
+            CycleEngine(net).run([Packet(0, 0, 1, edges)])
+
+    def test_max_cycles_guard(self, torus_4_2):
+        edges = _path_edges(torus_4_2, [(0, 0), (0, 1)])
+        pkt = Packet(0, 0, 1, edges, release_cycle=100)
+        with pytest.raises(SimulationError):
+            CycleEngine(SimNetwork(torus_4_2), max_cycles=10).run([pkt])
+
+
+class TestResultMetrics:
+    def test_throughput(self, torus_4_2):
+        a = _path_edges(torus_4_2, [(0, 0), (0, 1)])
+        result = CycleEngine(SimNetwork(torus_4_2)).run([Packet(0, 0, 1, a)])
+        assert result.throughput == 1.0
+
+    def test_latencies_array(self, torus_4_2):
+        a = _path_edges(torus_4_2, [(0, 0), (0, 1), (0, 2)])
+        result = CycleEngine(SimNetwork(torus_4_2)).run([Packet(0, 0, 2, a)])
+        assert np.array_equal(result.latencies, [2])
+        assert result.mean_latency == 2.0

@@ -1,0 +1,74 @@
+"""Unit tests for repro.sim.fault_injection."""
+
+import numpy as np
+import pytest
+
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.sim.fault_injection import (
+    pair_connectivity_under_faults,
+    random_link_failures,
+)
+from repro.torus.topology import Torus
+
+
+class TestRandomFailures:
+    def test_count_and_range(self, torus_4_2):
+        fails = random_link_failures(torus_4_2, 10, seed=0)
+        assert fails.size == 10
+        assert np.unique(fails).size == 10
+        assert fails.min() >= 0 and fails.max() < torus_4_2.num_edges
+
+    def test_accepts_placement(self, linear_4_2):
+        fails = random_link_failures(linear_4_2, 5, seed=0)
+        assert fails.size == 5
+
+    def test_zero_failures(self, torus_4_2):
+        assert random_link_failures(torus_4_2, 0, seed=0).size == 0
+
+    def test_too_many(self, torus_4_2):
+        with pytest.raises(ValueError):
+            random_link_failures(torus_4_2, torus_4_2.num_edges + 1)
+
+    def test_reproducible(self, torus_4_2):
+        a = random_link_failures(torus_4_2, 8, seed=4)
+        b = random_link_failures(torus_4_2, 8, seed=4)
+        assert np.array_equal(a, b)
+
+
+class TestPairConnectivity:
+    def test_no_failures_fully_connected(self, linear_4_2):
+        stats = pair_connectivity_under_faults(
+            linear_4_2, OrderedDimensionalRouting(2), []
+        )
+        assert stats.disconnected_pairs == 0
+        assert stats.disconnection_rate == 0.0
+        assert stats.surviving_path_fraction == pytest.approx(1.0)
+
+    def test_total_pairs(self, linear_4_2):
+        stats = pair_connectivity_under_faults(
+            linear_4_2, OrderedDimensionalRouting(2), []
+        )
+        assert stats.total_pairs == 4 * 3
+
+    def test_odr_loses_pairs_on_targeted_failure(self, linear_5_2):
+        odr = OrderedDimensionalRouting(2)
+        coords = linear_5_2.coords()
+        path = odr.path(linear_5_2.torus, coords[0], coords[1])
+        stats = pair_connectivity_under_faults(linear_5_2, odr, [path.edge_ids[0]])
+        assert stats.disconnected_pairs >= 1
+
+    def test_udr_beats_odr_on_same_failures(self):
+        torus = Torus(5, 2)
+        from repro.placements.linear import linear_placement
+
+        placement = linear_placement(torus)
+        failures = random_link_failures(torus, 20, seed=7)
+        s_odr = pair_connectivity_under_faults(
+            placement, OrderedDimensionalRouting(2), failures
+        )
+        s_udr = pair_connectivity_under_faults(
+            placement, UnorderedDimensionalRouting(), failures
+        )
+        assert s_udr.disconnection_rate <= s_odr.disconnection_rate
+        assert s_udr.surviving_path_fraction >= 0.0

@@ -1,0 +1,32 @@
+"""Unit tests for repro.sim.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import summarize_link_counts
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize_link_counts(np.array([0, 2, 4, 0]))
+        assert s.max_count == 4
+        assert s.total_traversals == 6
+        assert s.used_links == 2
+        assert s.mean_count == 1.5
+        assert s.mean_nonzero == 3.0
+
+    def test_all_zero(self):
+        s = summarize_link_counts(np.zeros(4, dtype=int))
+        assert s.max_count == 0
+        assert s.mean_nonzero == 0.0
+
+    def test_normalized(self):
+        s = summarize_link_counts(np.array([0, 4, 8]))
+        n = s.normalized(4)
+        assert n.max_count == 2
+        assert n.total_traversals == 3
+
+    def test_normalized_invalid(self):
+        s = summarize_link_counts(np.array([1]))
+        with pytest.raises(ValueError):
+            s.normalized(0)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.sim.node_faults."""
+
+import numpy as np
+import pytest
+
+from repro.placements.linear import linear_placement
+from repro.routing.faults import FaultMaskedRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.sim.node_faults import (
+    edges_of_nodes,
+    node_failure_impact,
+    random_node_failures,
+)
+from repro.torus.topology import Torus
+
+
+class TestEdgesOfNodes:
+    def test_single_node_degree(self, torus_4_2):
+        edges = edges_of_nodes(torus_4_2, [0])
+        # 2d outgoing + 2d incoming directed links
+        assert edges.size == 4 * torus_4_2.d
+
+    def test_edges_touch_the_node(self, torus_4_2):
+        for eid in edges_of_nodes(torus_4_2, [5]):
+            e = torus_4_2.edges.decode(int(eid))
+            assert 5 in (e.tail, e.head)
+
+    def test_adjacent_nodes_shared_links_once(self, torus_4_2):
+        edges = edges_of_nodes(torus_4_2, [0, 1])
+        assert edges.size == np.unique(edges).size
+        # each node touches 2d out + 2d in = 8 directed links; the two
+        # links between nodes 0 and 1 are shared: 8 + 8 - 2 = 14
+        assert edges.size == 14
+
+    def test_empty(self, torus_4_2):
+        assert edges_of_nodes(torus_4_2, []).size == 0
+
+
+class TestRandomNodeFailures:
+    def test_count_and_reproducibility(self, torus_4_2):
+        a = random_node_failures(torus_4_2, 4, seed=1)
+        b = random_node_failures(torus_4_2, 4, seed=1)
+        assert a.size == 4 and np.array_equal(a, b)
+
+    def test_bounds(self, torus_4_2):
+        with pytest.raises(ValueError):
+            random_node_failures(torus_4_2, 17)
+
+
+class TestNodeFailureImpact:
+    def test_router_only_failure_loses_no_processors(self):
+        torus = Torus(5, 2)
+        placement = linear_placement(torus)
+        router = placement.complement().node_ids[0]
+        impact = node_failure_impact(placement, [router])
+        assert impact.lost_processors == 0
+        assert len(impact.surviving_placement) == len(placement)
+
+    def test_processor_failure_counted(self):
+        torus = Torus(5, 2)
+        placement = linear_placement(torus)
+        dead = placement.node_ids[:2]
+        impact = node_failure_impact(placement, dead)
+        assert impact.lost_processors == 2
+        assert len(impact.surviving_placement) == len(placement) - 2
+
+    def test_total_loss(self):
+        torus = Torus(3, 2)
+        placement = linear_placement(torus)
+        impact = node_failure_impact(placement, placement.node_ids)
+        assert impact.surviving_placement is None
+        assert impact.lost_processors == 3
+
+    def test_composes_with_fault_masked_routing(self):
+        torus = Torus(5, 2)
+        placement = linear_placement(torus)
+        router = placement.complement().node_ids[7]
+        impact = node_failure_impact(placement, [router])
+        masked = FaultMaskedRouting(
+            UnorderedDimensionalRouting(), impact.failed_edges
+        )
+        coords = impact.surviving_placement.coords()
+        # surviving processors can still route around the dead router
+        connected = sum(
+            masked.is_connected(torus, coords[i], coords[j])
+            for i in range(len(coords))
+            for j in range(len(coords))
+            if i != j
+        )
+        assert connected > 0

@@ -1,0 +1,22 @@
+"""Unit tests for repro.sim.packet."""
+
+from repro.sim.packet import Packet
+
+
+class TestPacket:
+    def test_path_length(self):
+        p = Packet(packet_id=0, src=0, dst=3, edge_ids=(1, 2, 3))
+        assert p.path_length == 3
+
+    def test_latency_none_in_flight(self):
+        p = Packet(packet_id=0, src=0, dst=1, edge_ids=(1,))
+        assert p.latency is None
+
+    def test_latency_after_delivery(self):
+        p = Packet(packet_id=0, src=0, dst=1, edge_ids=(1,), release_cycle=2)
+        p.delivered_cycle = 5
+        assert p.latency == 3
+
+    def test_zero_hop(self):
+        p = Packet(packet_id=0, src=4, dst=4, edge_ids=())
+        assert p.path_length == 0

@@ -1,0 +1,38 @@
+"""Unit tests for repro.sim.validate."""
+
+import pytest
+
+from repro.load.odr_loads import odr_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.sim.validate import compare_sim_to_analytic
+from repro.torus.topology import Torus
+
+
+class TestValidation:
+    def test_odr_exact(self):
+        p = linear_placement(Torus(5, 2))
+        rep = compare_sim_to_analytic(
+            p, OrderedDimensionalRouting(2), odr_edge_loads(p), seed=0
+        )
+        assert rep.exact_match
+        assert rep.max_abs_error == 0.0
+        assert rep.sim_emax == rep.analytic_emax
+
+    def test_udr_totals_conserved(self):
+        p = linear_placement(Torus(4, 2))
+        rep = compare_sim_to_analytic(
+            p, UnorderedDimensionalRouting(), udr_edge_loads(p), rounds=5, seed=0
+        )
+        assert rep.total_sim == pytest.approx(rep.total_analytic)
+        assert rep.rounds == 5
+
+    def test_udr_error_shrinks_with_rounds(self):
+        p = linear_placement(Torus(4, 2))
+        udr = UnorderedDimensionalRouting()
+        analytic = udr_edge_loads(p)
+        few = compare_sim_to_analytic(p, udr, analytic, rounds=2, seed=1)
+        many = compare_sim_to_analytic(p, udr, analytic, rounds=100, seed=1)
+        assert many.max_abs_error <= few.max_abs_error

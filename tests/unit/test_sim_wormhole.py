@@ -1,0 +1,168 @@
+"""Unit tests for repro.sim.wormhole."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.sim.packet import Packet
+from repro.sim.workloads import complete_exchange_packets
+from repro.sim.wormhole import (
+    WormholeConfig,
+    WormholeEngine,
+    assign_virtual_channels,
+)
+from repro.torus.topology import Torus
+
+
+def _packet(torus, src, dst, pid=0):
+    path = OrderedDimensionalRouting(torus.d).path(torus, src, dst)
+    return Packet(pid, path.source, path.destination, path.edge_ids)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = WormholeConfig()
+        assert cfg.flits_per_packet >= 1 and cfg.buffer_flits >= 1
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            WormholeConfig(flits_per_packet=0)
+        with pytest.raises(SimulationError):
+            WormholeConfig(buffer_flits=0)
+
+
+class TestVirtualChannels:
+    def test_no_wrap_stays_vc0(self):
+        torus = Torus(6, 2)
+        pkt = _packet(torus, (0, 0), (2, 2))
+        assert assign_virtual_channels(torus, pkt.edge_ids) == [0, 0, 0, 0]
+
+    def test_wrap_switches_to_vc1(self):
+        torus = Torus(6, 2)
+        pkt = _packet(torus, (5, 0), (1, 0))  # crosses 5 -> 0 immediately
+        vcs = assign_virtual_channels(torus, pkt.edge_ids)
+        assert vcs == [1, 1]
+
+    def test_vc_resets_per_dimension(self):
+        torus = Torus(6, 2)
+        # dim 0 wraps (5 -> 1), dim 1 does not (0 -> 2)
+        pkt = _packet(torus, (5, 0), (1, 2))
+        vcs = assign_virtual_channels(torus, pkt.edge_ids)
+        assert vcs == [1, 1, 0, 0]
+
+    def test_minus_direction_dateline(self):
+        torus = Torus(6, 2)
+        pkt = _packet(torus, (1, 0), (5, 0))  # 1 -> 0 -> 5 travelling −
+        vcs = assign_virtual_channels(torus, pkt.edge_ids)
+        assert vcs == [0, 1]
+
+
+class TestPipelining:
+    def test_single_packet_latency(self):
+        torus = Torus(6, 2)
+        pkt = _packet(torus, (0, 0), (2, 2))
+        res = WormholeEngine(torus, WormholeConfig(flits_per_packet=4)).run([pkt])
+        # wormhole: hops + flits - 1 under zero contention
+        assert pkt.latency == 4 + 4 - 1
+
+    def test_single_flit_degenerates(self):
+        torus = Torus(6, 2)
+        pkt = _packet(torus, (0, 0), (0, 3))
+        res = WormholeEngine(torus, WormholeConfig(flits_per_packet=1)).run([pkt])
+        assert pkt.latency == 3
+
+    def test_zero_hop_packet(self):
+        torus = Torus(4, 2)
+        pkt = Packet(0, 5, 5, ())
+        res = WormholeEngine(torus).run([pkt])
+        assert res.delivered == 1
+        assert pkt.latency == 0
+
+
+class TestCompleteExchange:
+    @pytest.mark.parametrize("flits,buffers", [(1, 1), (3, 2), (4, 1)])
+    def test_all_delivered(self, flits, buffers):
+        torus = Torus(5, 2)
+        placement = linear_placement(torus)
+        packets = complete_exchange_packets(
+            placement, OrderedDimensionalRouting(2), seed=0
+        )
+        res = WormholeEngine(
+            torus, WormholeConfig(flits_per_packet=flits, buffer_flits=buffers)
+        ).run(packets)
+        assert res.delivered == len(packets)
+
+    def test_packet_counts_match_analytic(self):
+        torus = Torus(6, 2)
+        placement = linear_placement(torus)
+        packets = complete_exchange_packets(
+            placement, OrderedDimensionalRouting(2), seed=0
+        )
+        res = WormholeEngine(
+            torus, WormholeConfig(flits_per_packet=3)
+        ).run(packets)
+        assert np.allclose(res.link_packet_counts, odr_edge_loads(placement))
+
+    def test_longer_worms_take_longer(self):
+        torus = Torus(5, 2)
+        placement = linear_placement(torus)
+
+        def run(flits):
+            packets = complete_exchange_packets(
+                placement, OrderedDimensionalRouting(2), seed=0
+            )
+            return WormholeEngine(
+                torus, WormholeConfig(flits_per_packet=flits)
+            ).run(packets)
+
+        assert run(4).cycles > run(1).cycles
+
+    def test_wormhole_beats_store_and_forward_for_long_packets(self):
+        # pipelining: single long packet completes in hops+L-1 cycles,
+        # a store-and-forward model would need hops*L
+        torus = Torus(8, 2)
+        pkt = _packet(torus, (0, 0), (4, 4))
+        hops = pkt.path_length
+        flits = 6
+        res = WormholeEngine(
+            torus, WormholeConfig(flits_per_packet=flits, buffer_flits=2)
+        ).run([pkt])
+        assert pkt.latency == hops + flits - 1 < hops * flits
+
+
+class TestValidation:
+    def test_edge_revisiting_route_rejected(self):
+        torus = Torus(4, 2)
+        eid = torus.edges.edge_id(0, 0, +1)
+        pkt = Packet(0, 0, 0, (eid, eid))
+        with pytest.raises(SimulationError):
+            WormholeEngine(torus).run([pkt])
+
+    def test_max_cycles_guard(self):
+        torus = Torus(4, 2)
+        pkt = _packet(torus, (0, 0), (1, 1))
+        pkt.release_cycle = 10**7
+        with pytest.raises(SimulationError):
+            WormholeEngine(torus, max_cycles=5).run([pkt])
+
+
+class TestStress:
+    def test_tight_buffers_fully_populated(self):
+        # minimum buffering, every node populated: maximal channel pressure,
+        # still deadlock-free under dateline dimension-order routing
+        torus = Torus(4, 2)
+        from repro.placements.fully import fully_populated_placement
+
+        placement = fully_populated_placement(torus)
+        packets = complete_exchange_packets(
+            placement, OrderedDimensionalRouting(2), seed=0
+        )
+        res = WormholeEngine(
+            torus, WormholeConfig(flits_per_packet=4, buffer_flits=1),
+            max_cycles=200_000,
+        ).run(packets)
+        assert res.delivered == len(packets)
+        assert np.allclose(res.link_packet_counts, odr_edge_loads(placement))

@@ -1,0 +1,126 @@
+"""Unit tests for repro.torus.edges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.torus.edges import EdgeIndex
+
+
+@pytest.fixture
+def ei() -> EdgeIndex:
+    return EdgeIndex(4, 2)
+
+
+class TestEncodingDecoding:
+    def test_id_layout(self, ei):
+        assert ei.edge_id(0, 0, +1) == 0
+        assert ei.edge_id(0, 0, -1) == 1
+        assert ei.edge_id(0, 1, +1) == 2
+        assert ei.edge_id(1, 0, +1) == 4
+
+    def test_roundtrip_all(self, ei):
+        for eid in range(ei.num_edges):
+            e = ei.decode(eid)
+            assert ei.edge_id(e.tail, e.dim, e.sign) == eid
+
+    def test_decode_out_of_range(self, ei):
+        with pytest.raises(InvalidParameterError):
+            ei.decode(ei.num_edges)
+        with pytest.raises(InvalidParameterError):
+            ei.decode(-1)
+
+    def test_bad_sign(self, ei):
+        with pytest.raises(InvalidParameterError):
+            ei.edge_id(0, 0, 2)
+
+    def test_bad_dim(self, ei):
+        with pytest.raises(InvalidParameterError):
+            ei.edge_id(0, 2, 1)
+
+    def test_bad_node(self, ei):
+        with pytest.raises(InvalidParameterError):
+            ei.edge_id(16, 0, 1)
+
+    def test_decode_arrays_matches_scalar(self, ei):
+        ids = np.arange(ei.num_edges)
+        tails, dims, signs = ei.decode_arrays(ids)
+        for eid in range(0, ei.num_edges, 7):
+            e = ei.decode(eid)
+            assert tails[eid] == e.tail
+            assert dims[eid] == e.dim
+            assert signs[eid] == e.sign
+
+
+class TestNeighborStep:
+    def test_plus_wraps(self, ei):
+        # node (0, 3) + dim1 -> (0, 0)
+        n_33 = 0 * 4 + 3
+        assert ei.neighbor(n_33, 1, +1) == 0
+
+    def test_minus_wraps(self, ei):
+        assert ei.neighbor(0, 0, -1) == 3 * 4 + 0
+
+    def test_array_matches_scalar(self, ei):
+        ids = np.arange(ei.num_nodes)
+        for dim in range(2):
+            for sign in (+1, -1):
+                arr = ei.neighbors_array(ids, dim, sign)
+                for u in range(ei.num_nodes):
+                    assert arr[u] == ei.neighbor(u, dim, sign)
+
+    def test_step_coords_does_not_mutate(self, ei):
+        coords = np.array([[0, 0], [1, 3]])
+        out = ei.step_coords(coords, 1, +1)
+        assert coords.tolist() == [[0, 0], [1, 3]]
+        assert out.tolist() == [[0, 1], [1, 0]]
+
+
+class TestEdgeBetween:
+    def test_adjacent(self, ei):
+        eid = ei.edge_between(0, 1)
+        e = ei.decode(eid)
+        assert (e.tail, e.head, e.dim, e.sign) == (0, 1, 1, 1)
+
+    def test_wraparound(self, ei):
+        n_03 = 3
+        eid = ei.edge_between(n_03, 0)
+        e = ei.decode(eid)
+        assert e.sign == +1 and e.dim == 1
+
+    def test_not_adjacent(self, ei):
+        with pytest.raises(InvalidParameterError):
+            ei.edge_between(0, 5)  # diagonal
+
+    def test_two_apart_same_dim(self, ei):
+        with pytest.raises(InvalidParameterError):
+            ei.edge_between(0, 2)
+
+
+class TestReverseAndEnumeration:
+    def test_reverse_involution(self, ei):
+        for eid in range(ei.num_edges):
+            assert ei.reverse(ei.reverse(eid)) == eid
+
+    def test_reverse_swaps_endpoints(self, ei):
+        e = ei.decode(10)
+        r = ei.decode(ei.reverse(10))
+        assert (r.tail, r.head) == (e.head, e.tail)
+
+    def test_all_edges_count(self, ei):
+        assert ei.all_edges().size == ei.num_edges
+
+    def test_undirected_pairs_cover(self, ei):
+        plus = ei.undirected_pair_ids()
+        assert plus.size == ei.num_edges // 2
+        partners = np.array([ei.reverse(int(e)) for e in plus])
+        both = np.sort(np.concatenate([plus, partners]))
+        assert np.array_equal(both, np.arange(ei.num_edges))
+
+    def test_edge_ids_array_matches_scalar(self, ei):
+        nodes = np.array([0, 3, 7])
+        dims = np.array([0, 1, 1])
+        signs = np.array([1, -1, 1])
+        out = ei.edge_ids_array(nodes, dims, signs)
+        expected = [ei.edge_id(int(n), int(d), int(s)) for n, d, s in zip(nodes, dims, signs)]
+        assert out.tolist() == expected

@@ -1,0 +1,59 @@
+"""Unit tests for repro.torus.graph."""
+
+import networkx as nx
+import pytest
+
+from repro.torus.graph import (
+    full_torus_diameter,
+    to_networkx,
+    to_networkx_undirected,
+    torus_bisection_width,
+)
+from repro.torus.topology import Torus
+
+
+class TestToNetworkx:
+    def test_node_edge_counts(self, torus_4_2):
+        g = to_networkx(torus_4_2)
+        assert g.number_of_nodes() == 16
+        assert g.number_of_edges() == 64
+
+    def test_edge_attributes(self, torus_4_2):
+        g = to_networkx(torus_4_2)
+        data = g.get_edge_data(0, 1)
+        assert set(data) == {"edge_id", "dim", "sign"}
+
+    def test_strongly_connected(self, torus_4_2):
+        assert nx.is_strongly_connected(to_networkx(torus_4_2))
+
+    def test_removed_edges(self, torus_4_2):
+        g_full = to_networkx(torus_4_2)
+        g = to_networkx(torus_4_2, removed_edges=[0])
+        assert g.number_of_edges() == g_full.number_of_edges() - 1
+
+    def test_shortest_path_equals_lee(self, torus_5_2):
+        g = to_networkx(torus_5_2)
+        for u in range(0, 25, 6):
+            for v in range(0, 25, 7):
+                assert (
+                    nx.shortest_path_length(g, u, v)
+                    == torus_5_2.lee_distance_ids(u, v)
+                )
+
+    def test_undirected_regular(self, torus_5_2):
+        g = to_networkx_undirected(torus_5_2)
+        assert all(deg == 4 for _n, deg in g.degree())
+
+
+class TestClassicalFacts:
+    def test_bisection_width_directed(self):
+        assert torus_bisection_width(4, 2) == 16
+        assert torus_bisection_width(4, 3) == 64
+
+    def test_bisection_width_undirected(self):
+        assert torus_bisection_width(4, 2, directed=False) == 8
+
+    def test_diameter(self):
+        assert full_torus_diameter(6, 3) == 9
+        assert full_torus_diameter(5, 2) == 4
+        assert full_torus_diameter(5, 2) == Torus(5, 2).diameter

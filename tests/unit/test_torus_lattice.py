@@ -1,0 +1,80 @@
+"""Unit tests for repro.torus.lattice (the Appendix machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.torus.lattice import ArrayLattice, sweep_direction, sweep_gamma
+
+
+class TestSweepGamma:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 8])
+    def test_in_legal_interval(self, d):
+        g = sweep_gamma(d)
+        assert 1.0 < g < 2.0 ** (1.0 / (d - 1))
+
+    def test_d1_positive(self):
+        assert sweep_gamma(1) > 1.0
+
+    def test_invalid_d(self):
+        with pytest.raises(InvalidParameterError):
+            sweep_gamma(0)
+
+
+class TestSweepDirection:
+    def test_unit_norm(self):
+        eta = sweep_direction(4)
+        assert np.isclose(np.linalg.norm(eta), 1.0)
+
+    def test_strictly_increasing_components(self):
+        # the paper's property (2): 0 < eta_1 < ... < eta_d < 1
+        eta = sweep_direction(5)
+        assert np.all(np.diff(eta) > 0)
+        assert eta[0] > 0 and eta[-1] < 1
+
+    def test_r_eta_property(self):
+        # property (3): r*eta_i >= eta_d for any r >= 2 and every i
+        eta = sweep_direction(6)
+        assert np.all(2 * eta >= eta[-1] - 1e-12)
+
+    def test_gamma_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sweep_direction(3, gamma=1.6)  # 2^(1/2) ~ 1.414 < 1.6
+
+
+class TestArrayLattice:
+    def test_counts(self):
+        al = ArrayLattice(4, 3)
+        assert al.num_nodes == 64
+        assert al.num_undirected_edges == 3 * 3 * 16
+        assert al.num_wraparound_edges == 3 * 16
+
+    def test_array_plus_wraparound_is_torus(self):
+        al = ArrayLattice(5, 2)
+        # undirected torus edges = d*k^d
+        assert al.num_undirected_edges + al.num_wraparound_edges == 2 * 25
+
+    def test_distinct_projections(self):
+        # the floating-point stand-in for the transcendence argument
+        al = ArrayLattice(6, 3)
+        proj = np.sort(al.projections())
+        assert np.all(np.diff(proj) > 0)
+
+    def test_crossing_bound_holds_everywhere(self):
+        al = ArrayLattice(5, 2)
+        bound = al.max_edges_crossed_bound()
+        proj = al.projections()
+        rng = np.random.default_rng(0)
+        for t0 in rng.uniform(proj.min(), proj.max(), size=50):
+            assert al.edges_crossed(float(t0)) <= bound
+
+    def test_no_crossings_outside_range(self):
+        al = ArrayLattice(4, 2)
+        assert al.edges_crossed(-1.0) == 0
+        assert al.edges_crossed(100.0) == 0
+
+    def test_projections_of_subset(self):
+        al = ArrayLattice(4, 2)
+        sub = al.projections(coords=np.array([[0, 0], [1, 0]]))
+        assert sub.shape == (2,)
+        assert sub[1] > sub[0]

@@ -1,0 +1,82 @@
+"""Unit tests for repro.torus.subtorus."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.torus.subtorus import (
+    cut_edges_between_layers,
+    principal_subtorus_nodes,
+    subtorus_layer_counts,
+)
+from repro.torus.topology import Torus
+
+
+class TestPrincipalSubtorus:
+    def test_size(self, torus_4_3):
+        nodes = principal_subtorus_nodes(torus_4_3, 1, 2)
+        assert nodes.size == 16
+
+    def test_coordinate_fixed(self, torus_4_3):
+        nodes = principal_subtorus_nodes(torus_4_3, 1, 2)
+        coords = torus_4_3.coords(nodes)
+        assert np.all(coords[:, 1] == 2)
+
+    def test_partition(self, torus_4_2):
+        all_nodes = np.concatenate(
+            [principal_subtorus_nodes(torus_4_2, 0, v) for v in range(4)]
+        )
+        assert np.array_equal(np.sort(all_nodes), np.arange(16))
+
+    def test_bad_dim(self, torus_4_2):
+        with pytest.raises(InvalidParameterError):
+            principal_subtorus_nodes(torus_4_2, 2, 0)
+
+    def test_bad_value(self, torus_4_2):
+        with pytest.raises(InvalidParameterError):
+            principal_subtorus_nodes(torus_4_2, 0, 4)
+
+
+class TestLayerCounts:
+    def test_full_torus_flat(self, torus_4_2):
+        counts = subtorus_layer_counts(
+            torus_4_2, np.arange(torus_4_2.num_nodes), 0
+        )
+        assert counts.tolist() == [4, 4, 4, 4]
+
+    def test_partial(self, torus_4_2):
+        # three nodes in layer 0, one in layer 2 (dim 0)
+        ids = torus_4_2.node_ids([(0, 0), (0, 1), (0, 3), (2, 2)])
+        counts = subtorus_layer_counts(torus_4_2, ids, 0)
+        assert counts.tolist() == [3, 0, 1, 0]
+
+    def test_sum_equals_input(self, torus_4_3):
+        ids = np.arange(0, 60, 7)
+        counts = subtorus_layer_counts(torus_4_3, ids, 2)
+        assert counts.sum() == ids.size
+
+
+class TestCutEdges:
+    def test_count(self, torus_4_3):
+        cut = cut_edges_between_layers(torus_4_3, 0, 1)
+        assert cut.size == 2 * 4**2
+
+    def test_edges_cross_the_boundary(self, torus_4_2):
+        cut = cut_edges_between_layers(torus_4_2, 0, 1)
+        for eid in cut:
+            e = torus_4_2.edges.decode(int(eid))
+            tail_layer = torus_4_2.coord(e.tail)[0]
+            head_layer = torus_4_2.coord(e.head)[0]
+            assert {tail_layer, head_layer} == {1, 2}
+
+    def test_wraparound_boundary(self, torus_4_2):
+        cut = cut_edges_between_layers(torus_4_2, 0, 3)
+        for eid in cut:
+            e = torus_4_2.edges.decode(int(eid))
+            layers = {torus_4_2.coord(e.tail)[0], torus_4_2.coord(e.head)[0]}
+            assert layers == {3, 0}
+
+    def test_both_directions_present(self, torus_4_2):
+        cut = set(cut_edges_between_layers(torus_4_2, 1, 0).tolist())
+        for eid in list(cut):
+            assert torus_4_2.edges.reverse(eid) in cut

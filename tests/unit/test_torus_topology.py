@@ -1,0 +1,89 @@
+"""Unit tests for repro.torus.topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.torus.topology import Torus
+
+
+class TestConstruction:
+    def test_counts(self):
+        t = Torus(4, 3)
+        assert t.num_nodes == 64
+        assert t.num_edges == 2 * 3 * 64
+        assert t.degree == 6
+        assert t.shape == (4, 4, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            Torus(1, 2)
+        with pytest.raises(InvalidParameterError):
+            Torus(4, 0)
+
+    def test_equality_and_hash(self):
+        assert Torus(4, 2) == Torus(4, 2)
+        assert Torus(4, 2) != Torus(4, 3)
+        assert hash(Torus(5, 2)) == hash(Torus(5, 2))
+
+    def test_repr(self):
+        assert repr(Torus(4, 2)) == "Torus(k=4, d=2)"
+
+
+class TestCoordinates:
+    def test_node_id_roundtrip(self, torus_4_3):
+        for nid in (0, 13, 63):
+            assert torus_4_3.node_id(torus_4_3.coord(nid)) == nid
+
+    def test_all_node_coords_aligned(self, torus_4_2):
+        coords = torus_4_2.all_node_coords()
+        assert np.array_equal(
+            torus_4_2.node_ids(coords), np.arange(torus_4_2.num_nodes)
+        )
+
+    def test_contains_coord(self, torus_4_2):
+        assert torus_4_2.contains_coord((3, 3))
+        assert not torus_4_2.contains_coord((4, 0))
+        assert not torus_4_2.contains_coord((0, 0, 0))
+
+
+class TestDistance:
+    def test_lee_distance(self, torus_5_2):
+        assert torus_5_2.lee_distance((0, 0), (4, 3)) == 1 + 2
+
+    def test_lee_distance_ids(self, torus_4_2):
+        u = torus_4_2.node_id((0, 0))
+        v = torus_4_2.node_id((2, 2))
+        assert torus_4_2.lee_distance_ids(u, v) == 4
+
+    def test_diameter(self):
+        assert Torus(6, 3).diameter == 9
+        assert Torus(5, 2).diameter == 4
+
+    def test_distance_array(self, torus_5_2):
+        p = np.array([[0, 0], [1, 1]])
+        q = np.array([[4, 3], [1, 1]])
+        assert torus_5_2.lee_distances_array(p, q).tolist() == [3, 0]
+
+
+class TestNeighbors:
+    def test_count(self, torus_4_3):
+        assert len(torus_4_3.neighbors(0)) == 6
+
+    def test_symmetric(self, torus_4_2):
+        for u in range(torus_4_2.num_nodes):
+            for v in torus_4_2.neighbors(u):
+                assert u in torus_4_2.neighbors(v)
+
+    def test_k2_neighbors_coincide(self):
+        t = Torus(2, 1)
+        n = t.neighbors(0)
+        assert n == [1, 1]
+
+    def test_lee_distance_one(self, torus_5_2):
+        for v in torus_5_2.neighbors(7):
+            assert torus_5_2.lee_distance_ids(7, v) == 1
+
+    def test_is_even(self):
+        assert Torus(4, 2).is_even
+        assert not Torus(5, 2).is_even

@@ -1,0 +1,42 @@
+"""Unit tests for repro.util.itertools_ext."""
+
+import pytest
+
+from repro.util.itertools_ext import (
+    chunked,
+    pairs_ordered,
+    pairs_unordered,
+    product_coords,
+)
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestPairs:
+    def test_ordered_count(self):
+        assert len(list(pairs_ordered([1, 2, 3]))) == 6
+
+    def test_ordered_excludes_self(self):
+        assert (1, 1) not in list(pairs_ordered([1, 2]))
+
+    def test_unordered_count(self):
+        assert len(list(pairs_unordered([1, 2, 3, 4]))) == 6
+
+
+class TestProductCoords:
+    def test_count(self):
+        assert len(list(product_coords(3, 2))) == 9
+
+    def test_c_order(self):
+        coords = list(product_coords(2, 2))
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]

@@ -1,0 +1,123 @@
+"""Unit tests for repro.util.modular."""
+
+import numpy as np
+import pytest
+
+from repro.util.modular import (
+    TIE_BOTH,
+    TIE_PLUS,
+    cyclic_distance,
+    cyclic_distance_array,
+    lee_distance,
+    lee_distance_array,
+    minimal_correction,
+    minimal_correction_array,
+)
+
+
+class TestCyclicDistance:
+    def test_zero_for_equal(self):
+        assert cyclic_distance(3, 3, 7) == 0
+
+    def test_adjacent(self):
+        assert cyclic_distance(0, 1, 5) == 1
+        assert cyclic_distance(1, 0, 5) == 1
+
+    def test_wraparound_is_shorter(self):
+        # 0 -> 4 on a 5-ring: one step backwards
+        assert cyclic_distance(0, 4, 5) == 1
+
+    def test_half_ring_even(self):
+        assert cyclic_distance(0, 3, 6) == 3
+
+    def test_max_is_floor_half(self):
+        for k in range(2, 12):
+            dists = [cyclic_distance(0, j, k) for j in range(k)]
+            assert max(dists) == k // 2
+
+    def test_reduces_modulo(self):
+        assert cyclic_distance(7, -1, 5) == cyclic_distance(2, 4, 5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            cyclic_distance(0, 1, 0)
+
+    def test_array_matches_scalar(self):
+        k = 7
+        i, j = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        arr = cyclic_distance_array(i, j, k)
+        for a in range(k):
+            for b in range(k):
+                assert arr[a, b] == cyclic_distance(a, b, k)
+
+    def test_array_k1_is_zero(self):
+        assert np.all(cyclic_distance_array([0, 0], [0, 0], 1) == 0)
+
+
+class TestLeeDistance:
+    def test_zero_for_equal(self):
+        assert lee_distance((1, 2, 3), (1, 2, 3), 5) == 0
+
+    def test_sum_of_cyclic(self):
+        assert lee_distance((0, 0), (2, 4), 5) == 2 + 1
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            lee_distance((0, 0), (1,), 5)
+
+    def test_array_form(self):
+        p = np.array([[0, 0], [1, 1]])
+        q = np.array([[2, 4], [1, 3]])
+        assert lee_distance_array(p, q, 5).tolist() == [3, 2]
+
+    def test_diameter(self):
+        # farthest point from origin on T_6^2 is (3, 3)
+        assert lee_distance((0, 0), (3, 3), 6) == 6
+
+
+class TestMinimalCorrection:
+    def test_forward_shorter(self):
+        delta, tied = minimal_correction(0, 2, 6)
+        assert (delta, tied) == (2, False)
+
+    def test_backward_shorter(self):
+        delta, tied = minimal_correction(0, 5, 6)
+        assert (delta, tied) == (-1, False)
+
+    def test_zero(self):
+        assert minimal_correction(4, 4, 6) == (0, False)
+
+    def test_half_ring_tie_resolves_plus(self):
+        delta, tied = minimal_correction(0, 3, 6, tie=TIE_PLUS)
+        assert (delta, tied) == (3, True)
+
+    def test_tie_both_reports_tie(self):
+        delta, tied = minimal_correction(1, 4, 6, tie=TIE_BOTH)
+        assert delta == 3 and tied
+
+    def test_odd_k_never_ties(self):
+        for i in range(7):
+            for j in range(7):
+                _, tied = minimal_correction(i, j, 7)
+                assert not tied
+
+    def test_invalid_tie_policy(self):
+        with pytest.raises(ValueError):
+            minimal_correction(0, 1, 4, tie="bogus")
+
+    def test_array_matches_scalar(self):
+        k = 6
+        p, q = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        delta, tied = minimal_correction_array(p, q, k)
+        for a in range(k):
+            for b in range(k):
+                sd, st = minimal_correction(a, b, k)
+                assert delta[a, b] == sd
+                assert tied[a, b] == st
+
+    def test_correction_reaches_target(self):
+        for k in (4, 5, 6, 9):
+            for i in range(k):
+                for j in range(k):
+                    delta, _ = minimal_correction(i, j, k)
+                    assert (i + delta) % k == j

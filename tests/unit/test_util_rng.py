@@ -1,0 +1,50 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = resolve_rng(42).integers(0, 1000, size=10)
+        b = resolve_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(resolve_rng(np.int64(7)), np.random.Generator)
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(
+            a.integers(0, 10**9, size=8), b.integers(0, 10**9, size=8)
+        )
+
+    def test_reproducible(self):
+        xs = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        ys = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        assert xs == ys
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_ok(self):
+        assert spawn_rngs(0, 0) == []

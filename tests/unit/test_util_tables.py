@@ -1,0 +1,67 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table, format_table, format_value
+
+
+class TestFormatValue:
+    def test_float_uses_format(self):
+        assert format_value(0.123456789) == "0.123457"
+
+    def test_bool_renders_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int_plain(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # every row has the same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_markdown_compatible(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[1].startswith("|-")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table(["k", "v"])
+        t.add_row([1, 0.5])
+        t.add_row([2, 0.25])
+        assert len(t) == 2
+        assert "0.5" in t.render()
+
+    def test_title_rendered(self):
+        t = Table(["k"], title="my table")
+        t.add_row([1])
+        assert t.render().startswith("### my table")
+
+    def test_column_access(self):
+        t = Table(["k", "v"])
+        t.add_row([1, "a"])
+        t.add_row([2, "b"])
+        assert t.column("v") == ["a", "b"]
+
+    def test_bad_row_rejected(self):
+        t = Table(["k", "v"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_unknown_column(self):
+        t = Table(["k"])
+        with pytest.raises(ValueError):
+            t.column("missing")

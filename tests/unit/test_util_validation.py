@@ -1,0 +1,86 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import (
+    check_dimension,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_radix,
+    check_torus_params,
+)
+
+
+class TestCheckDimension:
+    def test_valid(self):
+        assert check_dimension(1) == 1
+        assert check_dimension(10) == 10
+
+    def test_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_dimension(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_dimension(-3)
+
+    def test_float_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_dimension(2.0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_dimension(True)
+
+
+class TestCheckRadix:
+    def test_valid(self):
+        assert check_radix(2) == 2
+        assert check_radix(100) == 100
+
+    def test_one_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_radix(1)
+
+    def test_string_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_radix("4")
+
+
+class TestCheckTorusParams:
+    def test_returns_pair(self):
+        assert check_torus_params(4, 3) == (4, 3)
+
+    def test_bad_radix(self):
+        with pytest.raises(InvalidParameterError):
+            check_torus_params(0, 3)
+
+    def test_bad_dimension(self):
+        with pytest.raises(InvalidParameterError):
+            check_torus_params(4, 0)
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            check_probability(1.5)
+        with pytest.raises(InvalidParameterError):
+            check_probability(-0.1)
+
+
+class TestSignChecks:
+    def test_positive(self):
+        assert check_positive(3) == 3
+        with pytest.raises(InvalidParameterError):
+            check_positive(0)
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0) == 0
+        with pytest.raises(InvalidParameterError):
+            check_nonnegative(-1)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.viz.ascii_art."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.placements.linear import linear_placement
+from repro.routing.minimal import AllMinimalPaths
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.torus.topology import Torus
+from repro.viz.ascii_art import (
+    highlighted_edges,
+    render_figure1,
+    render_placement_2d,
+)
+
+
+class TestHighlightedEdges:
+    def test_counts_for_figure1(self):
+        torus = Torus(3, 2)
+        p = linear_placement(torus)
+        used = highlighted_edges(p, AllMinimalPaths())
+        assert len(used) == 24
+
+    def test_odr_uses_fewer_links(self):
+        torus = Torus(3, 2)
+        p = linear_placement(torus)
+        odr = highlighted_edges(p, OrderedDimensionalRouting(2))
+        allmin = highlighted_edges(p, AllMinimalPaths())
+        assert odr <= allmin
+        assert len(odr) < len(allmin)
+
+
+class TestRender:
+    def test_processor_count_in_render(self):
+        torus = Torus(3, 2)
+        p = linear_placement(torus)
+        text = render_placement_2d(p)
+        assert text.count("[P]") == 3
+        assert text.count("( )") == 6
+
+    def test_highlight_markers(self):
+        torus = Torus(3, 2)
+        p = linear_placement(torus)
+        used = highlighted_edges(p, AllMinimalPaths())
+        text = render_placement_2d(p, used)
+        assert "===" in text or "#" in text
+
+    def test_no_highlight_no_markers(self):
+        torus = Torus(3, 2)
+        p = linear_placement(torus)
+        text = render_placement_2d(p)
+        assert "===" not in text and "#" not in text
+
+    def test_wraparound_notes(self):
+        torus = Torus(3, 2)
+        p = linear_placement(torus)
+        used = highlighted_edges(p, AllMinimalPaths())
+        text = render_placement_2d(p, used)
+        assert "wraparound" in text
+
+    def test_rejects_3d(self):
+        p = linear_placement(Torus(3, 3))
+        with pytest.raises(InvalidParameterError):
+            render_placement_2d(p)
+
+    def test_figure1_header(self):
+        text = render_figure1()
+        assert "T_3^2" in text
+        assert text.count("[P]") == 3

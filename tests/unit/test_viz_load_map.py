@@ -1,0 +1,44 @@
+"""Unit tests for repro.viz.load_map."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.load.odr_loads import odr_edge_loads
+from repro.placements.linear import linear_placement
+from repro.torus.topology import Torus
+from repro.viz.load_map import render_load_map_2d
+
+
+class TestLoadMap:
+    def test_contains_grid_and_peak(self):
+        p = linear_placement(Torus(4, 2))
+        text = render_load_map_2d(p, odr_edge_loads(p))
+        assert text.count("[P]") == 4
+        assert "peak link load: 2" in text
+
+    def test_zero_loads_all_dots(self):
+        p = linear_placement(Torus(3, 2))
+        text = render_load_map_2d(p, np.zeros(p.torus.num_edges))
+        assert "9" not in text
+        assert "peak link load: 0" in text
+
+    def test_max_digit_present(self):
+        p = linear_placement(Torus(4, 2))
+        text = render_load_map_2d(p, odr_edge_loads(p))
+        assert "9" in text  # the peak link renders as 9
+
+    def test_rejects_3d(self):
+        p = linear_placement(Torus(3, 3))
+        with pytest.raises(InvalidParameterError):
+            render_load_map_2d(p, np.zeros(p.torus.num_edges))
+
+    def test_rejects_bad_shape(self):
+        p = linear_placement(Torus(3, 2))
+        with pytest.raises(InvalidParameterError):
+            render_load_map_2d(p, np.zeros(3))
+
+    def test_wraparound_notes_present(self):
+        p = linear_placement(Torus(4, 2))
+        text = render_load_map_2d(p, odr_edge_loads(p))
+        assert "wraparound" in text
