@@ -6,10 +6,15 @@ performance regressions in the machinery behind the experiments are
 visible.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.bisection.dimension_cut import best_dimension_cut
 from repro.bisection.hyperplane import hyperplane_bisection
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.engine import LoadEngine
 from repro.load.odr_loads import odr_edge_loads
 from repro.load.udr_loads import udr_edge_loads
 from repro.placements.linear import linear_placement
@@ -34,6 +39,54 @@ def test_udr_loads(benchmark, k, d):
     placement = linear_placement(Torus(k, d))
     loads = benchmark(udr_edge_loads, placement)
     assert loads.max() > 0
+
+
+@pytest.mark.benchmark(group="engine-displacement")
+@pytest.mark.parametrize("k,d", [(16, 2), (12, 3)])
+def test_displacement_loads(benchmark, k, d):
+    placement = linear_placement(Torus(k, d))
+    routing = OrderedDimensionalRouting(d)
+    engine = LoadEngine("displacement")
+    engine.edge_loads(placement, routing)  # warm the template cache
+    loads = benchmark(engine.edge_loads, placement, routing)
+    assert loads.max() > 0
+
+
+@pytest.mark.benchmark(group="engine-parallel")
+@pytest.mark.parametrize("k,d,jobs", [(16, 2, 2), (12, 3, 4)])
+def test_parallel_loads(benchmark, k, d, jobs):
+    placement = linear_placement(Torus(k, d))
+    routing = OrderedDimensionalRouting(d)
+    engine = LoadEngine("parallel", jobs=jobs, chunk_pairs=1024)
+    loads = benchmark(engine.edge_loads, placement, routing)
+    assert np.abs(loads - odr_edge_loads(placement)).max() <= 1e-9
+
+
+@pytest.mark.benchmark(group="engine-displacement")
+def test_displacement_cache_speedup(benchmark):
+    """The ISSUE-1 acceptance check: displacement-cache >= 5x the oracle.
+
+    Measured on ``T_16^2`` with a linear placement; the cache is timed
+    cold (template construction included).
+    """
+    torus = Torus(16, 2)
+    placement = linear_placement(torus)
+    routing = OrderedDimensionalRouting(2)
+
+    t0 = time.perf_counter()
+    oracle = edge_loads_reference(placement, routing)
+    oracle_seconds = time.perf_counter() - t0
+
+    def cold_displacement():
+        return LoadEngine("displacement").edge_loads(placement, routing)
+
+    loads = benchmark(cold_displacement)
+    assert np.abs(loads - oracle).max() <= 1e-9
+    cached_seconds = benchmark.stats.stats.min
+    assert oracle_seconds >= 5 * cached_seconds, (
+        f"displacement cache only {oracle_seconds / cached_seconds:.1f}x "
+        "faster than the oracle (need >= 5x)"
+    )
 
 
 @pytest.mark.benchmark(group="engine-bisection")

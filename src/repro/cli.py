@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro design    --k 8 --d 3 --t 1 --routing odr
     python -m repro analyze   --k 8 --d 3 --t 2 --routing udr
+    python -m repro analyze   --k 16 --d 2 --engine parallel --jobs 4
     python -m repro experiments --quick            # run the full suite
     python -m repro experiments --only EXP-7
     python -m repro figure1
@@ -45,6 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="measure loads, bounds, and bisections"
     )
     _add_torus_args(p_analyze)
+    _add_engine_args(p_analyze)
     p_analyze.add_argument(
         "--markdown",
         action="store_true",
@@ -52,6 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_exp = sub.add_parser("experiments", help="run the reproduction suite")
+    _add_engine_args(p_exp)
     p_exp.add_argument(
         "--quick", action="store_true", help="use the reduced sweeps"
     )
@@ -97,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="linear",
     )
     p_sweep.add_argument("--routing", choices=["odr", "udr"], default="odr")
+    _add_engine_args(p_sweep)
     return parser
 
 
@@ -109,6 +113,38 @@ def _add_torus_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--routing", choices=["odr", "udr"], default="odr", help="routing algorithm"
     )
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "reference", "vectorized", "displacement", "parallel"],
+        default="auto",
+        help="load-computation backend (default auto)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the parallel engine (default: all "
+            "cores); implies --engine parallel when --engine is auto"
+        ),
+    )
+
+
+def _engine_context(args):
+    """The default-engine context for a subcommand's --engine/--jobs flags."""
+    from repro.load.engine import LoadEngine, using_engine
+
+    name = getattr(args, "engine", "auto")
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and name == "auto":
+        name = "parallel"
+    if name == "auto":
+        return using_engine(None)
+    return using_engine(LoadEngine(name, jobs=jobs))
 
 
 # --------------------------------------------------------------- commands
@@ -133,7 +169,8 @@ def _cmd_analyze(args) -> int:
     from repro.core.designer import design_placement
 
     design = design_placement(args.k, args.d, t=args.t, routing=args.routing)
-    report = analyze(design.placement, design.routing)
+    with _engine_context(args):
+        report = analyze(design.placement, design.routing)
     if getattr(args, "markdown", False):
         from repro.core.report_md import analysis_report_md
 
@@ -163,10 +200,12 @@ def _cmd_experiments(args) -> int:
     from repro.experiments.runner import render_results
 
     if args.only:
-        result = get_experiment(args.only).run(quick=args.quick)
+        with _engine_context(args):
+            result = get_experiment(args.only).run(quick=args.quick)
         print(result.render())
         return 0 if result.passed else 1
-    results = run_all(quick=args.quick)
+    with _engine_context(args):
+        results = run_all(quick=args.quick)
     text = render_results(results, quick=args.quick)
     print(text)
     if args.write:
@@ -244,7 +283,8 @@ def _cmd_sweep(args) -> int:
         if args.routing == "odr"
         else lambda d: UnorderedDimensionalRouting()
     )
-    rows = scaling_rows(family, routing_factory, args.d, ks)
+    with _engine_context(args):
+        rows = scaling_rows(family, routing_factory, args.d, ks)
     table = Table(["k", "|P|", "E_max", "E_max/|P|"],
                   title=f"{args.family} + {args.routing.upper()} on d={args.d}")
     for row in rows:

@@ -16,33 +16,29 @@ import numpy as np
 from repro.bisection.dimension_cut import best_dimension_cut
 from repro.bisection.hyperplane import hyperplane_bisection
 from repro.load.bounds import BoundReport, best_known_lower_bound
-from repro.load.edge_loads import edge_loads_reference
-from repro.load.odr_loads import dimension_order_edge_loads
+from repro.load.engine import resolve_engine
 from repro.load.report import LoadReport, load_report
-from repro.load.udr_loads import udr_edge_loads
 from repro.placements.analysis import is_uniform
 from repro.placements.base import Placement
 from repro.routing.base import RoutingAlgorithm
-from repro.routing.dimension_order import DimensionOrderRouting
-from repro.routing.udr import UnorderedDimensionalRouting
 
 __all__ = ["PlacementAnalysis", "analyze", "compute_loads"]
 
 
 def compute_loads(
-    placement: Placement, routing: RoutingAlgorithm
+    placement: Placement,
+    routing: RoutingAlgorithm,
+    engine=None,
 ) -> np.ndarray:
-    """Per-edge loads, using the fastest exact implementation available.
+    """Per-edge loads through the :mod:`repro.load.engine` subsystem.
 
-    Dimension-order routings (incl. ODR) and UDR dispatch to the
-    vectorized engines; anything else falls back to the generic
-    path-enumerating reference.
+    ``engine`` is a :class:`~repro.load.engine.LoadEngine`, a backend
+    name, or ``None`` for the process-wide default (the ``auto`` engine:
+    vectorized kernels for dimension-order routings and UDR, the
+    displacement-class cache for other translation-invariant routings,
+    the path-enumerating reference otherwise).
     """
-    if isinstance(routing, DimensionOrderRouting):
-        return dimension_order_edge_loads(placement, routing.order)
-    if isinstance(routing, UnorderedDimensionalRouting):
-        return udr_edge_loads(placement)
-    return edge_loads_reference(placement, routing)
+    return resolve_engine(engine).edge_loads(placement, routing)
 
 
 @dataclass(frozen=True)
@@ -92,9 +88,16 @@ class PlacementAnalysis:
         return self.load.linearity_ratio
 
 
-def analyze(placement: Placement, routing: RoutingAlgorithm) -> PlacementAnalysis:
-    """Measure loads, bounds, and bisections for one configuration."""
-    loads = compute_loads(placement, routing)
+def analyze(
+    placement: Placement,
+    routing: RoutingAlgorithm,
+    engine=None,
+) -> PlacementAnalysis:
+    """Measure loads, bounds, and bisections for one configuration.
+
+    ``engine`` selects the load backend (see :func:`compute_loads`).
+    """
+    loads = compute_loads(placement, routing, engine=engine)
     report = load_report(placement, loads)
 
     dim_cut = best_dimension_cut(placement)

@@ -13,6 +13,8 @@ __all__ = [
     "PlacementError",
     "RoutingError",
     "BisectionError",
+    "LoadError",
+    "EngineError",
     "SimulationError",
     "ExperimentError",
 ]
@@ -51,6 +53,25 @@ class RoutingError(ReproError):
 
 class BisectionError(ReproError):
     """A bisection procedure failed to produce a balanced split."""
+
+
+class LoadError(ReproError):
+    """A load computation cannot be carried out.
+
+    Examples: a routing relation that yields *no* path for an ordered
+    pair (so Definition 4's :math:`1/|C^A_{p→q}|` fraction is undefined),
+    or a traffic matrix whose shape does not match the placement.
+    """
+
+
+class EngineError(LoadError):
+    """A :mod:`repro.load.engine` backend was misused or misconfigured.
+
+    Examples: requesting an unknown backend name, asking a vectorized
+    kernel for a routing algorithm it has no closed form for, or applying
+    the displacement-class cache to a routing that is not
+    translation-invariant.
+    """
 
 
 class SimulationError(ReproError):

@@ -1,18 +1,31 @@
-"""Run the whole experiment suite and render a combined report."""
+"""Run the whole experiment suite and render a combined report.
+
+The suite's load computations all flow through
+:func:`repro.core.analysis.compute_loads` and therefore honour the
+process-wide default :class:`~repro.load.engine.LoadEngine`; passing
+``engine=`` here pins a specific backend (e.g. ``"parallel"``) for the
+duration of the run.
+"""
 
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, experiment_ids, get_experiment
+from repro.load.engine import using_engine
 
 __all__ = ["run_all", "render_results", "render_all"]
 
 
-def run_all(quick: bool = False) -> dict[str, ExperimentResult]:
-    """Execute every registered experiment; returns ``{id: result}``."""
-    return {
-        exp_id: get_experiment(exp_id).run(quick=quick)
-        for exp_id in experiment_ids()
-    }
+def run_all(quick: bool = False, engine=None) -> dict[str, ExperimentResult]:
+    """Execute every registered experiment; returns ``{id: result}``.
+
+    ``engine`` is a :class:`~repro.load.engine.LoadEngine`, a backend
+    name, or ``None`` to keep the current default engine.
+    """
+    with using_engine(engine):
+        return {
+            exp_id: get_experiment(exp_id).run(quick=quick)
+            for exp_id in experiment_ids()
+        }
 
 
 def render_results(
@@ -33,6 +46,6 @@ def render_results(
     return "\n".join(parts)
 
 
-def render_all(quick: bool = False) -> str:
+def render_all(quick: bool = False, engine=None) -> str:
     """Run everything and produce one markdown report."""
-    return render_results(run_all(quick=quick), quick=quick)
+    return render_results(run_all(quick=quick, engine=engine), quick=quick)

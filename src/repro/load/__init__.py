@@ -17,6 +17,10 @@ computes it three ways:
   fixed dimension order;
 * :mod:`repro.load.udr_loads` — vectorized *exact* fractional loads for
   UDR via the permutation-counting identity, plus a Monte-Carlo estimator;
+* :mod:`repro.load.engine` — the :class:`~repro.load.engine.LoadEngine`
+  facade unifying the above behind pluggable backends, adding a
+  displacement-class path cache and a process-parallel pair-sharding
+  backend;
 
 and provides every closed form and lower bound the paper states
 (:mod:`repro.load.formulas`, :mod:`repro.load.bounds`), traffic patterns
@@ -27,6 +31,8 @@ and provides every closed form and lower bound the paper states
 from repro.load.edge_loads import edge_loads_reference
 from repro.load.odr_loads import odr_edge_loads, dimension_order_edge_loads
 from repro.load.udr_loads import udr_edge_loads, udr_sampled_edge_loads
+from repro.load import engine
+from repro.load.engine import LoadEngine
 from repro.load.report import LoadReport, load_report
 from repro.load import formulas, bounds
 from repro.load.traffic import (
@@ -37,6 +43,8 @@ from repro.load.traffic import (
 
 __all__ = [
     "edge_loads_reference",
+    "engine",
+    "LoadEngine",
     "odr_edge_loads",
     "dimension_order_edge_loads",
     "udr_edge_loads",

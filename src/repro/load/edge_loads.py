@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import LoadError
 from repro.placements.base import Placement
 from repro.routing.base import RoutingAlgorithm
 
@@ -42,6 +43,14 @@ def edge_loads_reference(
     numpy.ndarray
         ``float64`` array of length ``torus.num_edges``: the load
         :math:`\\mathcal{E}(l)` of every directed edge.
+
+    Raises
+    ------
+    repro.errors.LoadError
+        If the routing yields *no* path for a pair with nonzero weight
+        (e.g. a fault-masked relation whose surviving path set is empty)
+        — Definition 4's :math:`1/|C^A_{p→q}|` fraction is undefined
+        there.
     """
     torus = placement.torus
     coords = placement.coords()
@@ -61,6 +70,13 @@ def edge_loads_reference(
             if w == 0.0:
                 continue
             paths = routing.paths(torus, coords[i], coords[j])
+            if not paths:
+                raise LoadError(
+                    f"routing {routing.name!r} returned no path for pair "
+                    f"{tuple(int(c) for c in coords[i])} -> "
+                    f"{tuple(int(c) for c in coords[j])}; the Definition-4 "
+                    "load fraction is undefined for a disconnected pair"
+                )
             frac = w / len(paths)
             for path in paths:
                 for eid in path.edge_ids:

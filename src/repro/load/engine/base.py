@@ -1,0 +1,77 @@
+"""Backend protocol for the :class:`~repro.load.engine.LoadEngine` facade.
+
+A *backend* is one strategy for evaluating Definition 4's per-edge loads
+
+.. math::
+
+    \\mathcal{E}(l) = \\sum_{p \\ne q \\in P}
+        w_{pq}\\,\\frac{|C^A_{p→l→q}|}{|C^A_{p→q}|}
+
+given a placement, a routing algorithm, and an optional traffic matrix.
+Every backend must produce *exactly* the same numbers as the reference
+oracle (:func:`repro.load.edge_loads.edge_loads_reference`) whenever it
+declares itself applicable via :meth:`LoadBackend.supports`; the engine's
+cross-check utilities and the unit tests enforce this to ``1e-9``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.placements.base import Placement
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["LoadBackend", "validate_pair_weights"]
+
+
+def validate_pair_weights(
+    pair_weights: np.ndarray | None, m: int
+) -> np.ndarray | None:
+    """Coerce a traffic matrix to ``float64`` and check its shape.
+
+    Returns ``None`` untouched (the complete-exchange default); raises
+    ``ValueError`` on a shape mismatch, mirroring the reference oracle.
+    """
+    if pair_weights is None:
+        return None
+    pair_weights = np.asarray(pair_weights, dtype=np.float64)
+    if pair_weights.shape != (m, m):
+        raise ValueError(
+            f"pair_weights must have shape ({m}, {m}), got {pair_weights.shape}"
+        )
+    return pair_weights
+
+
+class LoadBackend(abc.ABC):
+    """One strategy for computing exact per-edge loads.
+
+    Subclasses implement :meth:`compute` and — when they only handle a
+    subset of routings or traffic patterns — override :meth:`supports`
+    so the ``auto`` engine can skip them cleanly.
+    """
+
+    #: registry / CLI name of the backend.
+    name: str = "backend"
+
+    def supports(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> bool:
+        """Whether :meth:`compute` can handle this configuration exactly."""
+        return True
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-edge loads; ``float64`` of length ``torus.num_edges``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}(name={self.name!r})"

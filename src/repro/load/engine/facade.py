@@ -1,0 +1,257 @@
+"""The :class:`LoadEngine` facade and the backend registry.
+
+One entry point for every per-edge load computation in the package::
+
+    engine = LoadEngine("parallel", jobs=8)
+    loads = engine.edge_loads(placement, routing)
+    emax = engine.emax(placement, routing)
+
+Backends by name:
+
+``reference``
+    The per-pair path-enumerating oracle; exact for any routing.
+``vectorized``
+    The closed-form numpy kernels (dimension-order routings, UDR).
+``displacement``
+    The displacement-class template cache; any translation-invariant
+    routing, weighted traffic included.
+``parallel``
+    The pair matrix sharded over a process pool (displacement templates
+    inside each worker where applicable).
+``auto``
+    Pick the fastest applicable serial backend per call:
+    vectorized → displacement → reference.
+
+A process-wide *default engine* (``auto`` unless overridden) backs
+:func:`repro.core.analysis.compute_loads` and the experiment runner; the
+CLI's ``--engine``/``--jobs`` flags swap it via :func:`using_engine`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.load.engine.base import LoadBackend
+from repro.load.engine.displacement import DisplacementBackend
+from repro.load.engine.parallel import DEFAULT_CHUNK_PAIRS, ParallelBackend
+from repro.load.engine.reference import ReferenceBackend
+from repro.load.engine.vectorized import VectorizedBackend
+from repro.placements.base import Placement
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = [
+    "LoadEngine",
+    "available_backends",
+    "get_default_engine",
+    "set_default_engine",
+    "resolve_engine",
+    "using_engine",
+    "cross_check",
+]
+
+#: the serial preference order the ``auto`` engine tries per call.
+_AUTO_ORDER = ("vectorized", "displacement", "reference")
+
+_BACKEND_NAMES = ("reference", "vectorized", "displacement", "parallel")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, plus the ``auto`` selector."""
+    return _BACKEND_NAMES + ("auto",)
+
+
+class LoadEngine:
+    """Facade dispatching load computations to a pluggable backend.
+
+    Parameters
+    ----------
+    backend:
+        One of :func:`available_backends` (default ``auto``).
+    jobs:
+        Worker processes for the ``parallel`` backend; ignored by the
+        serial backends.
+    chunk_pairs:
+        Shard size for the ``parallel`` backend.
+    """
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        jobs: int | None = None,
+        chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    ):
+        if backend not in available_backends():
+            raise EngineError(
+                f"unknown load backend {backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
+        self.backend_name = backend
+        self.jobs = jobs
+        self._backends: dict[str, LoadBackend] = {}
+        self._chunk_pairs = chunk_pairs
+
+    # ----------------------------------------------------------- backends
+
+    def _backend(self, name: str) -> LoadBackend:
+        backend = self._backends.get(name)
+        if backend is None:
+            if name == "reference":
+                backend = ReferenceBackend()
+            elif name == "vectorized":
+                backend = VectorizedBackend()
+            elif name == "displacement":
+                backend = DisplacementBackend()
+            elif name == "parallel":
+                backend = ParallelBackend(
+                    jobs=self.jobs, chunk_pairs=self._chunk_pairs
+                )
+            else:  # pragma: no cover - guarded by __init__
+                raise EngineError(f"unknown load backend {name!r}")
+            self._backends[name] = backend
+        return backend
+
+    def backend_for(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> LoadBackend:
+        """The backend that will serve this configuration.
+
+        ``auto`` walks the preference order and returns the first backend
+        whose :meth:`~repro.load.engine.base.LoadBackend.supports` accepts
+        the configuration; an explicitly named backend is returned
+        unconditionally (its ``compute`` raises a descriptive
+        :class:`~repro.errors.EngineError` if unsupported).
+        """
+        if self.backend_name != "auto":
+            return self._backend(self.backend_name)
+        for name in _AUTO_ORDER:
+            backend = self._backend(name)
+            if backend.supports(placement, routing, pair_weights):
+                return backend
+        return self._backend("reference")
+
+    # ------------------------------------------------------------- compute
+
+    def edge_loads(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-edge loads through the selected backend."""
+        backend = self.backend_for(placement, routing, pair_weights)
+        return backend.compute(placement, routing, pair_weights=pair_weights)
+
+    def emax(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> float:
+        """Definition 5's :math:`E_{max}` — the maximum per-edge load."""
+        loads = self.edge_loads(placement, routing, pair_weights=pair_weights)
+        return float(loads.max(initial=0.0))
+
+    def __repr__(self) -> str:
+        jobs = f", jobs={self.jobs}" if self.jobs is not None else ""
+        return f"LoadEngine(backend={self.backend_name!r}{jobs})"
+
+
+# --------------------------------------------------------- default engine
+
+_default_engine: LoadEngine | None = None
+
+
+def get_default_engine() -> LoadEngine:
+    """The process-wide engine used when callers pass ``engine=None``."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = LoadEngine("auto")
+    return _default_engine
+
+
+def set_default_engine(engine: "LoadEngine | str | None") -> LoadEngine:
+    """Replace the process-wide default engine.
+
+    Accepts an engine instance, a backend name, or ``None`` to reset to
+    ``auto``.  Returns the engine now in effect.
+    """
+    global _default_engine
+    _default_engine = None if engine is None else resolve_engine(engine)
+    return get_default_engine()
+
+
+def resolve_engine(engine: "LoadEngine | str | None") -> LoadEngine:
+    """Coerce an engine spec (instance, backend name, or ``None``)."""
+    if engine is None:
+        return get_default_engine()
+    if isinstance(engine, LoadEngine):
+        return engine
+    if isinstance(engine, str):
+        return LoadEngine(engine)
+    raise EngineError(
+        f"cannot interpret {engine!r} as a LoadEngine, backend name, or None"
+    )
+
+
+@contextlib.contextmanager
+def using_engine(engine: "LoadEngine | str | None"):
+    """Temporarily install ``engine`` as the process-wide default.
+
+    ``None`` is a no-op (the current default stays in effect), so callers
+    can thread an optional engine argument straight through.
+    """
+    global _default_engine
+    if engine is None:
+        yield get_default_engine()
+        return
+    previous = _default_engine
+    set_default_engine(engine)
+    try:
+        yield get_default_engine()
+    finally:
+        _default_engine = previous
+
+
+# ------------------------------------------------------------ cross-check
+
+
+def cross_check(
+    placement: Placement,
+    routing: RoutingAlgorithm,
+    pair_weights: np.ndarray | None = None,
+    backends=None,
+    jobs: int | None = None,
+    atol: float = 1e-9,
+) -> dict[str, float]:
+    """Assert every applicable backend agrees with the reference oracle.
+
+    Returns ``{backend_name: max_abs_diff}`` for the backends that
+    support the configuration; raises :class:`~repro.errors.EngineError`
+    if any deviates from the oracle by more than ``atol``.
+    """
+    names = tuple(backends) if backends is not None else _BACKEND_NAMES
+    oracle = ReferenceBackend().compute(placement, routing, pair_weights)
+    diffs: dict[str, float] = {}
+    for name in names:
+        engine = LoadEngine(name, jobs=jobs)
+        backend = engine.backend_for(placement, routing, pair_weights)
+        if name != "reference" and not backend.supports(
+            placement, routing, pair_weights
+        ):
+            continue
+        loads = backend.compute(placement, routing, pair_weights=pair_weights)
+        diff = float(np.abs(loads - oracle).max(initial=0.0))
+        diffs[name] = diff
+        if diff > atol:
+            raise EngineError(
+                f"backend {name!r} deviates from the reference oracle by "
+                f"{diff:.3e} (> {atol:.1e}) on {placement.name!r} + "
+                f"{routing.name!r}"
+            )
+    return diffs

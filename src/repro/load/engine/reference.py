@@ -1,0 +1,31 @@
+"""The oracle backend — a thin wrapper over the reference implementation.
+
+Exists so the engine can express "slow but universally correct" through
+the same interface as the fast backends; every cross-check in the engine
+and the tests compares against this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.engine.base import LoadBackend
+from repro.placements.base import Placement
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(LoadBackend):
+    """Full per-pair path enumeration; exact for any routing algorithm."""
+
+    name = "reference"
+
+    def compute(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return edge_loads_reference(placement, routing, pair_weights)

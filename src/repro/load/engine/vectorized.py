@@ -1,0 +1,66 @@
+"""The closed-form vectorized kernels behind one backend interface.
+
+Dimension-ordered routings (including the paper's ODR) dispatch to
+:func:`repro.load.odr_loads.dimension_order_edge_loads`; UDR dispatches to
+:func:`repro.load.udr_loads.udr_edge_loads` (complete exchange only — the
+permutation-counting identity it evaluates has no weighted form yet).
+Anything else is unsupported here; the ``auto`` engine falls through to
+the displacement or reference backends instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.load.engine.base import LoadBackend
+from repro.load.odr_loads import dimension_order_edge_loads
+from repro.load.udr_loads import udr_edge_loads
+from repro.placements.base import Placement
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.udr import UnorderedDimensionalRouting
+
+__all__ = ["VectorizedBackend"]
+
+
+class VectorizedBackend(LoadBackend):
+    """Exact loads through the specialised numpy kernels."""
+
+    name = "vectorized"
+
+    def supports(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> bool:
+        if isinstance(routing, DimensionOrderRouting):
+            return True
+        if isinstance(routing, UnorderedDimensionalRouting):
+            return pair_weights is None
+        return False
+
+    def compute(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if isinstance(routing, DimensionOrderRouting):
+            return dimension_order_edge_loads(
+                placement, routing.order, pair_weights=pair_weights
+            )
+        if isinstance(routing, UnorderedDimensionalRouting):
+            if pair_weights is not None:
+                raise EngineError(
+                    "the vectorized UDR kernel only handles complete "
+                    "exchange; use the 'displacement' or 'reference' "
+                    "backend for weighted UDR traffic"
+                )
+            return udr_edge_loads(placement)
+        raise EngineError(
+            f"no vectorized kernel for routing {routing.name!r}; use the "
+            "'displacement' (translation-invariant routings) or "
+            "'reference' backend"
+        )

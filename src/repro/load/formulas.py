@@ -51,7 +51,14 @@ def separator_lower_bound(s_size: int, p_size: int, boundary_size: int) -> float
 
 def bisection_lower_bound(p_size: int, bisection_width: int) -> float:
     """Eq. (8): Lemma 1 with ``S`` = half of ``P``:
-    :math:`E_{max} \\ge 2(|P|/2)^2 / |∂_b P|`."""
+    :math:`E_{max} \\ge 2\\lfloor|P|/2\\rfloor\\lceil|P|/2\\rceil / |∂_b P|`.
+
+    For odd :math:`|P|` the balanced split is
+    :math:`(\\lfloor|P|/2\\rfloor, \\lceil|P|/2\\rceil)` — the correct
+    Lemma 1 half-split, slightly stronger than the even-only
+    :math:`2(|P|/2)^2/|∂_b P|` form the paper writes; the two coincide
+    when :math:`|P|` is even.
+    """
     return separator_lower_bound(p_size // 2, p_size, bisection_width)
 
 

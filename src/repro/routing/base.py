@@ -82,6 +82,16 @@ class RoutingAlgorithm(abc.ABC):
     #: short machine name used in reports.
     name: str = "routing"
 
+    #: Whether the path set depends only on the displacement
+    #: ``(q - p) mod k`` per dimension — i.e. translating source and
+    #: destination by the same vector translates every path edge-for-edge.
+    #: All the paper's dimension-ordered routings have this property
+    #: (their corrections are functions of the coordinate differences
+    #: alone); fault-masked wrappers do *not*, because the failed links
+    #: break the torus's vertex transitivity.  The displacement-class
+    #: path cache in :mod:`repro.load.engine` relies on this flag.
+    translation_invariant: bool = False
+
     @abc.abstractmethod
     def paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
         """The path set :math:`C^A_{p→q}`; non-empty for ``p != q``."""

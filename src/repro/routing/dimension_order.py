@@ -27,6 +27,8 @@ class DimensionOrderRouting(RoutingAlgorithm):
         instance accepts.
     """
 
+    translation_invariant = True
+
     def __init__(self, order):
         self.order = tuple(int(i) for i in order)
         if sorted(self.order) != list(range(len(self.order))):

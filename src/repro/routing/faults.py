@@ -26,11 +26,18 @@ class FaultMaskedRouting(RoutingAlgorithm):
         The underlying routing algorithm.
     failed_edge_ids:
         Iterable of dense directed-edge ids considered down.
+    strict:
+        With ``strict=True`` (default) :meth:`paths` raises
+        :class:`~repro.errors.RoutingError` when a pair's whole path set
+        is filtered away.  With ``strict=False`` it returns the empty
+        list instead, letting bulk consumers (e.g. the load analyses)
+        detect and report the disconnected pair themselves.
     """
 
-    def __init__(self, base: RoutingAlgorithm, failed_edge_ids):
+    def __init__(self, base: RoutingAlgorithm, failed_edge_ids, strict: bool = True):
         self.base = base
         self.failed: frozenset[int] = frozenset(int(e) for e in failed_edge_ids)
+        self.strict = bool(strict)
         self.name = f"{base.name}+faults({len(self.failed)})"
 
     def surviving_paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
@@ -47,7 +54,7 @@ class FaultMaskedRouting(RoutingAlgorithm):
 
     def paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
         surviving = self.surviving_paths(torus, p_coord, q_coord)
-        if not surviving:
+        if not surviving and self.strict:
             raise RoutingError(
                 f"no {self.base.name} path between {tuple(p_coord)} and "
                 f"{tuple(q_coord)} survives the {len(self.failed)} failed links"

@@ -61,6 +61,7 @@ class AllMinimalPaths(RoutingAlgorithm):
     """Every shortest path between every pair — maximal path multiplicity."""
 
     name = "ALL-MIN"
+    translation_invariant = True
 
     def paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
         options = correction_options(p_coord, q_coord, torus.k)

@@ -32,6 +32,7 @@ class UnrestrictedODR(RoutingAlgorithm):
     """Ascending-dimension-order routing with both tie directions allowed."""
 
     name = "ODR-unrestricted"
+    translation_invariant = True
 
     def paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
         options = correction_options(p_coord, q_coord, torus.k)

@@ -27,6 +27,7 @@ class UnorderedDimensionalRouting(RoutingAlgorithm):
     """UDR: every dimension-correction order is a legal path."""
 
     name = "UDR"
+    translation_invariant = True
 
     def differing_dims(self, torus: Torus, p_coord, q_coord) -> list[int]:
         """Dimensions in which ``p`` and ``q`` disagree."""

@@ -11,24 +11,33 @@ __all__ = ["LinkCountSummary", "summarize_link_counts"]
 
 @dataclass(frozen=True)
 class LinkCountSummary:
-    """Aggregate view of per-link traversal counters."""
+    """Aggregate view of per-link traversal counters.
 
-    max_count: int
+    ``max_count`` and ``total_traversals`` are integers in a raw summary
+    from :func:`summarize_link_counts`; after :meth:`normalized` they are
+    per-exchange averages and may be fractional.
+    """
+
+    max_count: float
     mean_count: float
     mean_nonzero: float
     used_links: int
-    total_traversals: int
+    total_traversals: float
 
     def normalized(self, rounds: int) -> "LinkCountSummary":
-        """Per-exchange figures when the run repeated ``rounds`` exchanges."""
+        """Per-exchange figures when the run repeated ``rounds`` exchanges.
+
+        All count figures divide exactly (no flooring): counts that are
+        not multiples of ``rounds`` yield fractional per-round averages.
+        """
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
         return LinkCountSummary(
-            max_count=self.max_count // rounds,
+            max_count=self.max_count / rounds,
             mean_count=self.mean_count / rounds,
             mean_nonzero=self.mean_nonzero / rounds,
             used_links=self.used_links,
-            total_traversals=self.total_traversals // rounds,
+            total_traversals=self.total_traversals / rounds,
         )
 
 

@@ -1,9 +1,15 @@
 """Property-based tests: cyclic and Lee distance are metrics."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.util.modular import cyclic_distance, lee_distance, minimal_correction
+from repro.util.modular import (
+    cyclic_distance,
+    lee_distance,
+    minimal_correction,
+    minimal_correction_array,
+)
 
 ks = st.integers(min_value=2, max_value=64)
 
@@ -99,3 +105,34 @@ class TestMinimalCorrection:
         k, i, j = data
         _, tied = minimal_correction(i, j, k)
         assert tied == (k % 2 == 0 and (j - i) % k == k // 2)
+
+
+class TestScalarArrayAgreement:
+    """The scalar and vectorized minimal corrections are the same function.
+
+    Exhaustive over every ``(p, q, k)`` with ``k <= 12`` — covering both
+    parities and the even-``k`` half-ring ties — so the two
+    implementations can never drift apart silently.
+    """
+
+    def test_exhaustive_agreement(self):
+        for k in range(2, 13):
+            ps, qs = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+            ps, qs = ps.ravel(), qs.ravel()
+            deltas, ties = minimal_correction_array(ps, qs, k)
+            for p, q, delta, tied in zip(ps, qs, deltas, ties):
+                s_delta, s_tied = minimal_correction(int(p), int(q), k)
+                assert s_delta == delta, (p, q, k)
+                assert s_tied == tied, (p, q, k)
+
+    def test_even_k_ties_resolve_plus(self):
+        for k in range(2, 13, 2):
+            ps = np.arange(k)
+            deltas, ties = minimal_correction_array(ps, (ps + k // 2) % k, k)
+            assert np.all(ties)
+            assert np.all(deltas == k // 2)  # the + direction, scalar policy
+            for p in ps:
+                assert minimal_correction(int(p), int(p + k // 2), k) == (
+                    k // 2,
+                    True,
+                )

@@ -19,6 +19,20 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["analyze", "--k", "4", "--d", "2"])
         assert args.t == 1 and args.routing == "odr"
+        assert args.engine == "auto" and args.jobs is None
+
+    def test_engine_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "--k", "4", "--d", "2", "--engine", "parallel",
+             "--jobs", "2"]
+        )
+        assert (args.engine, args.jobs) == ("parallel", 2)
+
+    def test_engine_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--k", "4", "--d", "2", "--engine", "bogus"]
+            )
 
 
 class TestCommands:
@@ -31,6 +45,16 @@ class TestCommands:
     def test_analyze_bounds_hold(self, capsys):
         assert main(["analyze", "--k", "6", "--d", "2"]) == 0
         out = capsys.readouterr().out
+        assert "bounds hold     : True" in out
+
+    @pytest.mark.parametrize("engine", ["reference", "displacement", "parallel"])
+    def test_analyze_engines_agree(self, capsys, engine):
+        argv = ["analyze", "--k", "6", "--d", "2", "--engine", engine]
+        if engine == "parallel":
+            argv += ["--jobs", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "E_max           : 3" in out
         assert "bounds hold     : True" in out
 
     def test_figure1(self, capsys):

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.errors import LoadError
 from repro.load.edge_loads import edge_loads_reference
 from repro.load.traffic import complete_exchange_weights
 from repro.placements.base import Placement
+from repro.routing.faults import FaultMaskedRouting
 from repro.routing.minimal import AllMinimalPaths
 from repro.routing.odr import OrderedDimensionalRouting
 from repro.torus.topology import Torus
@@ -68,3 +70,27 @@ class TestReferenceLoads:
         odr = OrderedDimensionalRouting(2)
         with pytest.raises(ValueError):
             edge_loads_reference(linear_4_2, odr, np.ones((2, 2)))
+
+    def test_disconnected_pair_raises_load_error(self, torus_4_2):
+        # regression: an empty path set used to surface as a bare
+        # ZeroDivisionError from `w / len(paths)`
+        placement = Placement(torus_4_2, [0, 1])  # (0,0) and (0,1)
+        masked = FaultMaskedRouting(
+            OrderedDimensionalRouting(2),
+            [torus_4_2.edges.edge_id(0, 1, +1)],  # the only 0 -> 1 ODR link
+            strict=False,
+        )
+        with pytest.raises(LoadError, match=r"\(0, 0\).*\(0, 1\)"):
+            edge_loads_reference(placement, masked)
+
+    def test_disconnected_pair_with_zero_weight_is_skipped(self, torus_4_2):
+        placement = Placement(torus_4_2, [0, 1])
+        masked = FaultMaskedRouting(
+            OrderedDimensionalRouting(2),
+            [torus_4_2.edges.edge_id(0, 1, +1)],
+            strict=False,
+        )
+        w = np.zeros((2, 2))
+        w[1, 0] = 1.0  # only the intact direction carries traffic
+        loads = edge_loads_reference(placement, masked, w)
+        assert loads.sum() == pytest.approx(1.0)

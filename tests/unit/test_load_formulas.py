@@ -28,6 +28,10 @@ class TestLowerBounds:
     def test_bisection_lower_bound(self):
         assert F.bisection_lower_bound(8, 16) == pytest.approx(2 * 16 / 16)
 
+    def test_bisection_lower_bound_odd_size(self):
+        # odd |P| splits (floor, ceil): 2 * 4 * 5 / 16, not 2 * (9/2)^2 / 16
+        assert F.bisection_lower_bound(9, 16) == pytest.approx(2 * 4 * 5 / 16)
+
     def test_improved_bound(self):
         assert F.improved_lower_bound(1.0, 8, 3) == pytest.approx(64 / 8)
         assert F.improved_lower_bound(2.0, 8, 3) == pytest.approx(4 * 64 / 8)

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.placements",
     "repro.routing",
     "repro.load",
+    "repro.load.engine",
     "repro.bisection",
     "repro.sim",
     "repro.schedule",

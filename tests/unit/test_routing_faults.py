@@ -53,3 +53,18 @@ class TestFaultMasking:
         failed = [p.edge_ids[0] for p in paths]
         masked = FaultMaskedRouting(udr, failed)
         assert not masked.is_connected(torus, (0, 0), (1, 1))
+
+    def test_non_strict_returns_empty_path_set(self, torus_5_2):
+        odr = OrderedDimensionalRouting(2)
+        path = odr.path(torus_5_2, (0, 0), (2, 2))
+        masked = FaultMaskedRouting(odr, [path.edge_ids[0]], strict=False)
+        assert masked.paths(torus_5_2, (0, 0), (2, 2)) == []
+        # connected pairs behave exactly as in strict mode
+        assert masked.paths(torus_5_2, (0, 0), (0, 1)) == odr.paths(
+            torus_5_2, (0, 0), (0, 1)
+        )
+
+    def test_fault_masking_is_not_translation_invariant(self):
+        odr = OrderedDimensionalRouting(2)
+        assert odr.translation_invariant
+        assert not FaultMaskedRouting(odr, [0]).translation_invariant

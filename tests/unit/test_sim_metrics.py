@@ -26,6 +26,17 @@ class TestSummarize:
         assert n.max_count == 2
         assert n.total_traversals == 3
 
+    def test_normalized_fractional_counts(self):
+        # regression: rounds that do not divide the counts used to be
+        # silently floored (4 // 3 == 1, 7 // 3 == 2)
+        s = summarize_link_counts(np.array([0, 3, 4]))
+        n = s.normalized(3)
+        assert n.max_count == pytest.approx(4 / 3)
+        assert n.total_traversals == pytest.approx(7 / 3)
+        assert n.mean_count == pytest.approx(s.mean_count / 3)
+        assert n.mean_nonzero == pytest.approx(s.mean_nonzero / 3)
+        assert n.used_links == s.used_links
+
     def test_normalized_invalid(self):
         s = summarize_link_counts(np.array([1]))
         with pytest.raises(ValueError):
