@@ -12,8 +12,6 @@ produce widths that are genuine upper bounds on the true
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import BisectionError
 from repro.placements.base import Placement
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Sequence
 
 from repro._version import __version__
 
@@ -101,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--routing", choices=["odr", "udr"], default="odr")
     _add_engine_args(p_sweep)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo's static-analysis rules (RL001-RL007)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default text)",
+    )
+    p_lint.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to run"
+    )
+    p_lint.add_argument(
+        "--ignore", metavar="CODES", help="comma-separated rule codes to skip"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
     return parser
 
 
@@ -134,7 +158,7 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _engine_context(args):
+def _engine_context(args: argparse.Namespace):
     """The default-engine context for a subcommand's --engine/--jobs flags."""
     from repro.load.engine import LoadEngine, using_engine
 
@@ -150,7 +174,7 @@ def _engine_context(args):
 # --------------------------------------------------------------- commands
 
 
-def _cmd_design(args) -> int:
+def _cmd_design(args: argparse.Namespace) -> int:
     from repro.core.designer import design_placement
 
     design = design_placement(args.k, args.d, t=args.t, routing=args.routing)
@@ -164,7 +188,7 @@ def _cmd_design(args) -> int:
     return 0
 
 
-def _cmd_analyze(args) -> int:
+def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.analysis import analyze
     from repro.core.designer import design_placement
 
@@ -195,7 +219,7 @@ def _cmd_analyze(args) -> int:
     return 0 if ok else 1
 
 
-def _cmd_experiments(args) -> int:
+def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import get_experiment, run_all
     from repro.experiments.runner import render_results
 
@@ -216,14 +240,14 @@ def _cmd_experiments(args) -> int:
     return 0 if all(r.passed for r in results.values()) else 1
 
 
-def _cmd_figure1(_args) -> int:
+def _cmd_figure1(_args: argparse.Namespace) -> int:
     from repro.viz.ascii_art import render_figure1
 
     print(render_figure1())
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.designer import design_placement
     from repro.routing.faults import FaultMaskedRouting
     from repro.sim.engine import CycleEngine
@@ -269,7 +293,7 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.scaling import fit_power_law, scaling_rows
     from repro.placements.registry import get_family
     from repro.routing.odr import OrderedDimensionalRouting
@@ -297,6 +321,20 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.__main__ import run
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return run(argv)
+
+
 _COMMANDS = {
     "design": _cmd_design,
     "analyze": _cmd_analyze,
@@ -304,10 +342,11 @@ _COMMANDS = {
     "figure1": _cmd_figure1,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "lint": _cmd_lint,
 }
 
 
-def main(argv=None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:

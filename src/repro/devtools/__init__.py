@@ -1,0 +1,18 @@
+"""Developer tooling for the repro codebase.
+
+The package currently ships one subsystem: :mod:`repro.devtools.lint`, an
+AST-based lint framework whose rules encode the repo-specific invariants
+the paper's identities depend on (no silent flooring of load expressions,
+guarded divisions in the numeric hot paths, explicit routing metadata,
+facade discipline around the load engine, centralized constructor
+validation).  Run it as::
+
+    python -m repro.devtools.lint src tests
+    repro lint src tests
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from repro.devtools.lint import Finding, Rule, all_rules, lint_paths
+
+__all__ = ["Finding", "Rule", "all_rules", "lint_paths"]

@@ -1,0 +1,277 @@
+"""Core of the repro lint framework.
+
+The framework is deliberately small: a :class:`Rule` walks one parsed
+file (:class:`FileContext`) and yields :class:`Finding` objects; the
+registry maps rule codes to rule instances; :func:`lint_paths` drives the
+walk over files, applies ``# repro: noqa(...)`` suppressions, and returns
+the surviving findings sorted for stable output.
+
+Suppression syntax, on the offending line::
+
+    x = total // n          # repro: noqa(RL001)
+    y = a / b               # repro: noqa(RL001,RL002)
+    z = risky()             # repro: noqa          (suppresses every rule)
+
+Rules self-register via the :func:`register` decorator; adding a rule is
+one class in :mod:`repro.devtools.lint.rules` (see
+``docs/STATIC_ANALYSIS.md`` for the recipe).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "parse_noqa",
+]
+
+#: code used for files the framework itself cannot parse.
+SYNTAX_ERROR_CODE = "RL000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<codes>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\s*\))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint diagnostic, anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.noqa = parse_noqa(source)
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.as_posix()
+
+    @property
+    def is_test_file(self) -> bool:
+        """Whether this file belongs to the test suite (fixtures included)."""
+        parts = self.path.parts
+        if "tests" in parts:
+            return True
+        name = self.path.name
+        return name.startswith(("test_", "bench_")) or name == "conftest.py"
+
+    @property
+    def is_init_file(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    def in_package(self, *segments: str) -> bool:
+        """Whether the file lives under ``repro/<seg1>/<seg2>/…``."""
+        needle = "repro/" + "/".join(segments)
+        return needle in self.posix_path
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of ``node`` (empty string when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+
+class Rule(abc.ABC):
+    """One lint rule: a code, a one-line summary, and a ``check``."""
+
+    #: unique rule code, e.g. ``RL001``.
+    code: str = "RL999"
+    #: one-line human summary shown by ``--list-rules``.
+    summary: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path-based scoping)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=ctx.posix_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``code``) to the registry."""
+    rule = cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate lint rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by code."""
+    _ensure_rules_loaded()
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by code."""
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _ensure_rules_loaded() -> None:
+    # The built-in rule set registers on import; keep the import lazy so
+    # the framework core has no rule dependencies.
+    from repro.devtools.lint import rules as _rules  # noqa: F401  (side effect)
+
+
+def parse_noqa(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to suppressed codes.
+
+    ``None`` means "suppress every rule on this line" (bare
+    ``# repro: noqa``); a frozenset suppresses just the listed codes.
+    """
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "noqa" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(c.strip() for c in codes.split(","))
+    return out
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deduplicated, sorted ``.py`` walk."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(collected)
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one file; a syntax error yields a single RL000 finding."""
+    if rules is None:
+        rules = all_rules()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as err:
+        return [
+            Finding(
+                path=path.as_posix(),
+                line=err.lineno or 1,
+                col=(err.offset or 1) - 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"syntax error: {err.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            suppressed = ctx.noqa.get(finding.line)
+            if suppressed is None and finding.line in ctx.noqa:
+                continue  # bare noqa
+            if suppressed is not None and finding.code in suppressed:
+                continue
+            findings.append(finding)
+    return findings
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.code] = out.get(finding.code, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    ``select`` restricts the run to the given codes; ``ignore`` drops
+    codes after the fact.  Unknown codes in either raise ``KeyError``.
+    """
+    rules: Sequence[Rule] = all_rules()
+    if select is not None:
+        rules = tuple(get_rule(code) for code in select)
+    if ignore is not None:
+        dropped = {get_rule(code).code for code in ignore}
+        rules = tuple(rule for rule in rules if rule.code not in dropped)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files_scanned += 1
+        report.findings.extend(lint_file(path, rules))
+    report.findings.sort()
+    return report

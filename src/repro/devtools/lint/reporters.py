@@ -1,0 +1,45 @@
+"""Output formats for lint runs: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport) -> str:
+    """One finding per line, plus a trailing summary line."""
+    lines = [finding.render() for finding in report.findings]
+    if report.findings:
+        by_code = ", ".join(
+            f"{code}×{count}" for code, count in report.counts.items()
+        )
+        lines.append(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_scanned} file(s) [{by_code}]"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {report.files_scanned} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable JSON document (findings sorted by path/line/col)."""
+    doc = {
+        "files_scanned": report.files_scanned,
+        "total": len(report.findings),
+        "counts": report.counts,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,0 +1,560 @@
+"""The built-in rule set: repo-specific invariants RL001–RL007.
+
+Each rule generalizes a bug class this repository has actually hit (see
+``docs/STATIC_ANALYSIS.md`` for the catalogue and the PR-1 incidents the
+first five rules grew out of).  Rules are heuristics, not proofs — the
+``# repro: noqa(CODE)`` escape hatch exists precisely for the sites where
+a human can certify the invariant holds.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.devtools.lint import FileContext, Finding, Rule, register
+
+__all__ = [
+    "FloorOnLoadExpression",
+    "UnguardedDivision",
+    "RoutingMissingInvarianceFlag",
+    "LoadFacadeBypass",
+    "ConstructorSkipsValidation",
+    "UnusedImport",
+    "MutableDefaultArgument",
+]
+
+#: identifier fragments that mark a value as a real-valued load figure —
+#: flooring these silently truncates Definition-4/5 quantities (the PR-1
+#: ``LinkCountSummary.normalized`` bug class).
+_LOAD_KEYWORDS = (
+    "load",
+    "ratio",
+    "bound",
+    "emax",
+    "frac",
+    "weight",
+    "prob",
+    "latency",
+)
+
+#: denominator spellings that are known nonzero mathematical constants.
+_NONZERO_CONSTANTS = frozenset(
+    {"np.pi", "numpy.pi", "math.pi", "math.tau", "math.e"}
+)
+
+#: the load-engine internals that must only be reached through the
+#: :class:`repro.load.engine.LoadEngine` facade.
+_ENGINE_INTERNALS = frozenset(
+    {
+        "edge_loads_reference",
+        "ReferenceBackend",
+        "VectorizedBackend",
+        "DisplacementBackend",
+        "ParallelBackend",
+    }
+)
+
+
+def _identifiers(node: ast.AST) -> Iterator[str]:
+    """Every Name id and Attribute attr inside ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _is_loadlike(name: str) -> bool:
+    lowered = name.lower()
+    return any(key in lowered for key in _LOAD_KEYWORDS)
+
+
+def _is_floor_call(node: ast.Call) -> bool:
+    """``math.floor(...)`` / ``np.floor(...)`` / bare ``floor(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "floor"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "floor"
+    return False
+
+
+@register
+class FloorOnLoadExpression(Rule):
+    """RL001 — ``//`` or ``floor`` applied to a load/ratio/bound value.
+
+    Loads, linearity ratios, and the Eq. 6/8/9 bounds are rationals;
+    flooring them silently truncates (PR 1's
+    ``LinkCountSummary.normalized`` bug).  Index/count arithmetic such as
+    ``m // 2`` ring splits is whitelisted by the identifier heuristic:
+    only expressions that *mention* a load-like identifier (or assign to
+    one) are flagged.
+    """
+
+    code = "RL001"
+    summary = "floor-division/floor() on a load, ratio, or bound expression"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        reported: set[tuple[int, int]] = set()
+
+        def flag(node: ast.AST, detail: str) -> Iterator[Finding]:
+            key = (node.lineno, node.col_offset)
+            if key not in reported:
+                reported.add(key)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{detail} — loads and bounds are rationals; use true "
+                    "division (or suppress with `# repro: noqa(RL001)` if "
+                    "this is genuinely integral)",
+                )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.FloorDiv):
+                if any(_is_loadlike(name) for name in _identifiers(node)):
+                    yield from flag(
+                        node,
+                        f"floor division in `{ctx.segment(node)}` involves a "
+                        "load-like value",
+                    )
+            elif isinstance(node, ast.Call) and _is_floor_call(node):
+                if any(
+                    _is_loadlike(name)
+                    for arg in node.args
+                    for name in _identifiers(arg)
+                ):
+                    yield from flag(
+                        node,
+                        f"`{ctx.segment(node)}` floors a load-like value",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets: list[ast.expr]
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                else:
+                    targets = [node.target]
+                if node.value is None or not any(
+                    _is_loadlike(name)
+                    for target in targets
+                    for name in _identifiers(target)
+                ):
+                    continue
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.BinOp) and isinstance(
+                        sub.op, ast.FloorDiv
+                    ):
+                        yield from flag(
+                            sub,
+                            "floor division assigned to a load-like name "
+                            f"(`{ctx.segment(node)}`)",
+                        )
+                    elif isinstance(sub, ast.Call) and _is_floor_call(sub):
+                        yield from flag(
+                            sub,
+                            "floor() result assigned to a load-like name "
+                            f"(`{ctx.segment(node)}`)",
+                        )
+
+
+class _ScopeGuards:
+    """Guard expressions visible inside one function (or module) scope."""
+
+    def __init__(self, inherited: tuple[str, ...] = ()):
+        self.texts: list[str] = list(inherited)
+
+    def add(self, text: str) -> None:
+        if text:
+            self.texts.append(text)
+
+    def covers(self, denominator_text: str) -> bool:
+        # Word-boundary match so a denominator `k` is not "guarded" by an
+        # unrelated `if link:` test.
+        pattern = re.compile(
+            rf"(?<![\w.]){re.escape(denominator_text)}(?![\w(])"
+        )
+        return any(pattern.search(guard) for guard in self.texts)
+
+
+@register
+class UnguardedDivision(Rule):
+    """RL002 — division by a bare name with no visible zero guard.
+
+    Scoped to the numeric hot paths (``repro.load``, ``repro.bisection``,
+    ``repro.sim``) where a zero denominator is a latent
+    ``ZeroDivisionError`` (PR 1's empty-path-set crash class).  A
+    denominator counts as guarded when the enclosing function mentions it
+    in any ``if``/``while``/``assert``/ternary test, comprehension
+    filter, or ``max``/``min`` clamp.  Modulus is deliberately out of
+    scope: ``x % k`` by a validated radix is the codebase's cyclic
+    bread-and-butter and never reaches zero past construction.
+    """
+
+    code = "RL002"
+    summary = "division without a zero guard in a load/bisection/sim hot path"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file:
+            return False
+        return any(
+            ctx.in_package(pkg) for pkg in ("load", "bisection", "sim")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_scope(ctx, ctx.tree.body, _ScopeGuards())
+
+    # ------------------------------------------------------------ helpers
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        inherited: _ScopeGuards,
+    ) -> Iterator[Finding]:
+        guards = _ScopeGuards(tuple(inherited.texts))
+        nested: list[list[ast.stmt]] = []
+        divisions: list[ast.BinOp] = []
+        for node in self._walk_shallow(body, nested):
+            if isinstance(node, (ast.If, ast.While)):
+                guards.add(ctx.segment(node.test))
+            elif isinstance(node, ast.IfExp):
+                guards.add(ctx.segment(node.test))
+            elif isinstance(node, ast.Assert):
+                guards.add(ctx.segment(node.test))
+            elif isinstance(node, ast.comprehension):
+                for cond in node.ifs:
+                    guards.add(ctx.segment(cond))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in ("max", "min"):
+                    for arg in node.args:
+                        guards.add(ctx.segment(arg))
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Div, ast.FloorDiv)
+            ):
+                divisions.append(node)
+        for division in divisions:
+            key = self._denominator_key(ctx, division.right)
+            if key is None:
+                continue
+            if guards.covers(key):
+                continue
+            yield self.finding(
+                ctx,
+                division,
+                f"division by `{ctx.segment(division.right)}` has no zero "
+                "guard in this scope — raise a descriptive error or clamp "
+                "before dividing",
+            )
+        for sub_body in nested:
+            yield from self._check_scope(ctx, sub_body, guards)
+
+    @staticmethod
+    def _walk_shallow(
+        body: list[ast.stmt], nested: list[list[ast.stmt]]
+    ) -> Iterator[ast.AST]:
+        """Walk statements without descending into nested def/class bodies."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                nested.append(node.body)
+                # decorators/defaults still belong to the outer scope
+                stack.extend(ast.iter_child_nodes(node))
+                for child in node.body:
+                    if child in stack:
+                        stack.remove(child)
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _denominator_key(
+        self, ctx: FileContext, denom: ast.expr
+    ) -> str | None:
+        """The text to look for in guards, or ``None`` when exempt."""
+        if isinstance(denom, ast.Constant):
+            if denom.value == 0:
+                return str(denom.value)  # certain bug; nothing can guard it
+            return None
+        if isinstance(denom, ast.Name):
+            return denom.id
+        if isinstance(denom, ast.Attribute):
+            text = ctx.segment(denom)
+            if text in _NONZERO_CONSTANTS:
+                return None
+            return text
+        if (
+            isinstance(denom, ast.Call)
+            and isinstance(denom.func, ast.Name)
+            and denom.func.id == "len"
+            and len(denom.args) == 1
+        ):
+            return ctx.segment(denom.args[0])
+        return None
+
+
+@register
+class RoutingMissingInvarianceFlag(Rule):
+    """RL003 — a direct ``RoutingAlgorithm`` subclass with no explicit
+    ``translation_invariant`` declaration.
+
+    The displacement-class cache dispatches on this flag; inheriting the
+    base default silently (PR 1's missing declaration) either forfeits
+    the cache or — worse, if the default ever changed — corrupts loads
+    for non-invariant routings.  Direct subclasses must state the flag;
+    deeper subclasses inherit an explicit ancestor value.
+    """
+
+    code = "RL003"
+    summary = "RoutingAlgorithm subclass missing translation_invariant"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._bases_routing_algorithm(node):
+                continue
+            if self._declares_flag(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"routing class `{node.name}` subclasses RoutingAlgorithm "
+                "directly but does not declare `translation_invariant` — "
+                "state it explicitly (the displacement cache dispatches on "
+                "this flag)",
+            )
+
+    @staticmethod
+    def _bases_routing_algorithm(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else None
+            if name is None and isinstance(base, ast.Attribute):
+                name = base.attr
+            if name == "RoutingAlgorithm":
+                return True
+        return False
+
+    @staticmethod
+    def _declares_flag(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "translation_invariant"
+                    ):
+                        return True
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "translation_invariant"
+                ):
+                    return True
+        return False
+
+
+@register
+class LoadFacadeBypass(Rule):
+    """RL004 — load-engine internals referenced outside ``repro.load``.
+
+    ``edge_loads_reference`` and the backend classes are implementation
+    details of the :class:`repro.load.engine.LoadEngine` facade; code
+    that imports them directly bypasses backend selection, the default
+    engine, and future sharding/caching policy.  Tests are exempt — the
+    cross-check suites *must* reach the oracle directly.
+    """
+
+    code = "RL004"
+    summary = "direct use of load-engine internals outside repro.load"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file:
+            return False
+        if ctx.in_package("load") or ctx.in_package("devtools"):
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        reported: set[int] = set()
+
+        def flag(node: ast.AST, name: str) -> Iterator[Finding]:
+            if node.lineno not in reported:
+                reported.add(node.lineno)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{name}` is a load-engine internal — go through "
+                    "`repro.load.engine.LoadEngine` (e.g. "
+                    "`LoadEngine('reference').edge_loads(...)`) instead",
+                )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in _ENGINE_INTERNALS:
+                        yield from flag(node, alias.name)
+            elif isinstance(node, ast.Attribute):
+                if node.attr in _ENGINE_INTERNALS:
+                    yield from flag(node, node.attr)
+            elif isinstance(node, ast.Name):
+                if node.id in _ENGINE_INTERNALS and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    yield from flag(node, node.id)
+
+
+@register
+class ConstructorSkipsValidation(Rule):
+    """RL005 — a public torus/mixedradix constructor with no
+    ``repro.util.validation`` call.
+
+    Parameter checks live in :mod:`repro.util.validation` so error
+    messages stay uniform and tests pin one behaviour; inline ``raise``
+    statements drift.  Any public class under ``repro.torus`` or
+    ``repro.mixedradix`` that defines ``__init__`` must call a
+    ``check_*`` helper (directly or via ``validation.check_*``).
+    """
+
+    code = "RL005"
+    summary = "torus/mixedradix constructor skips repro.util.validation"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file:
+            return False
+        return ctx.in_package("torus") or ctx.in_package("mixedradix")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                continue
+            init = next(
+                (
+                    stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            if self._calls_validator(init):
+                continue
+            yield self.finding(
+                ctx,
+                init,
+                f"`{node.name}.__init__` never calls a "
+                "`repro.util.validation` `check_*` helper — centralize its "
+                "parameter checks there",
+            )
+
+    @staticmethod
+    def _calls_validator(init: ast.FunctionDef) -> bool:
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name is not None and name.startswith("check_"):
+                return True
+        return False
+
+
+@register
+class UnusedImport(Rule):
+    """RL006 — an imported name never used in the module.
+
+    ``__future__`` imports, ``__init__.py`` re-exports, and ``conftest``
+    fixture plumbing are exempt; a string constant equal to the name
+    (``__all__`` entries) counts as a use.  Flake8-style ``# noqa`` on
+    the import line is honored too, so side-effect imports marked for
+    ecosystem tools don't need a second pragma.
+    """
+
+    code = "RL006"
+    summary = "unused import"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_init_file and ctx.path.name != "conftest.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imported: list[tuple[str, ast.stmt]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = (alias.asname or alias.name).split(".")[0]
+                    imported.append((bound, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    imported.append((alias.asname or alias.name, node))
+        if not imported:
+            return
+        used: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                used.add(node.value)
+                # forward-reference strings ("np.ndarray | Iterable[int]")
+                # keep their imports alive; prose docstrings don't match.
+                if re.fullmatch(r"[\w.\[\], |']+", node.value):
+                    used.update(re.findall(r"[A-Za-z_]\w*", node.value))
+        for name, node in imported:
+            line = ctx.lines[node.lineno - 1] if node.lineno <= len(ctx.lines) else ""
+            if "noqa" in line:
+                continue
+            if name not in used:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{name}` is imported but never used — remove it (or "
+                    "re-export via `__all__` if it is public API)",
+                )
+
+
+@register
+class MutableDefaultArgument(Rule):
+    """RL007 — a mutable default argument (shared across calls)."""
+
+    code = "RL007"
+    summary = "mutable default argument"
+
+    _MUTABLE_FACTORIES = ("list", "dict", "set")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults: list[ast.expr] = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default `{ctx.segment(default)}` in "
+                        f"`{node.name}` is shared across calls — default to "
+                        "None and build inside the body",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_FACTORIES
+        )

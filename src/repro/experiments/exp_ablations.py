@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.base import ExperimentResult, register
-from repro.load.edge_loads import edge_loads_reference
+from repro.load.engine import LoadEngine
 from repro.load.odr_loads import odr_edge_loads
 from repro.placements.catalog import global_minimum_emax
 from repro.placements.linear import linear_placement
@@ -51,7 +51,9 @@ def run_tie_ablation(quick: bool = False) -> ExperimentResult:
     for k, d in configs:
         placement = linear_placement(Torus(k, d))
         restricted = odr_edge_loads(placement)
-        unrestricted = edge_loads_reference(placement, UnrestrictedODR())
+        unrestricted = LoadEngine("reference").edge_loads(
+            placement, UnrestrictedODR()
+        )
         r_max, u_max = float(restricted.max()), float(unrestricted.max())
         totals_equal = abs(restricted.sum() - unrestricted.sum()) < 1e-9
         table.add_row([d, k, r_max, u_max, u_max <= r_max + 1e-9, totals_equal])

@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.experiments.base import ExperimentResult, register
 from repro.bisection.dimension_cut import best_dimension_cut
-from repro.load import formulas
 from repro.load.odr_loads import odr_edge_loads
 from repro.load.traffic import (
     hotspot_traffic_weights,

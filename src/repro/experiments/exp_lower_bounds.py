@@ -14,8 +14,6 @@ scales like :math:`k^{d-1}/2d` while Section 4's bound stays at
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.base import ExperimentResult, register
 from repro.load import formulas
 from repro.load.bounds import lemma1_bound

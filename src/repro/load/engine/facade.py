@@ -30,6 +30,7 @@ CLI's ``--engine``/``--jobs`` flags swap it via :func:`using_engine`.
 from __future__ import annotations
 
 import contextlib
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -200,7 +201,7 @@ def resolve_engine(engine: "LoadEngine | str | None") -> LoadEngine:
 
 
 @contextlib.contextmanager
-def using_engine(engine: "LoadEngine | str | None"):
+def using_engine(engine: "LoadEngine | str | None") -> Iterator[LoadEngine]:
     """Temporarily install ``engine`` as the process-wide default.
 
     ``None`` is a no-op (the current default stays in effect), so callers
@@ -225,7 +226,7 @@ def cross_check(
     placement: Placement,
     routing: RoutingAlgorithm,
     pair_weights: np.ndarray | None = None,
-    backends=None,
+    backends: Iterable[str] | None = None,
     jobs: int | None = None,
     atol: float = 1e-9,
 ) -> dict[str, float]:

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import LoadError
 from repro.placements.base import Placement
 from repro.torus.edges import Edge
 
@@ -47,6 +48,11 @@ class LoadReport:
     @property
     def linearity_ratio(self) -> float:
         """:math:`E_{max}/|P|` — bounded by a constant iff load is linear."""
+        if self.placement_size <= 0:
+            raise LoadError(
+                "linearity ratio is undefined for an empty placement "
+                f"(placement_size={self.placement_size})"
+            )
         return self.emax / self.placement_size
 
     def __str__(self) -> str:  # pragma: no cover - display helper

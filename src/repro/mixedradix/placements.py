@@ -17,11 +17,13 @@ and ``m = k`` this is exactly the paper's Definition 10.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.mixedradix.torus import MixedTorus
+from repro.util.validation import check_node_ids
 
 __all__ = ["mixed_linear_placement", "lcm_linear_placement", "MixedPlacement"]
 
@@ -30,15 +32,15 @@ class MixedPlacement:
     """A processor set on a mixed-radix torus (minimal analogue of
     :class:`repro.placements.base.Placement`)."""
 
-    def __init__(self, torus: MixedTorus, node_ids, name: str = "placement"):
+    def __init__(
+        self,
+        torus: MixedTorus,
+        node_ids: np.ndarray | Iterable[int],
+        name: str = "placement",
+    ):
         self.torus = torus
         ids = np.unique(np.asarray(node_ids, dtype=np.int64))
-        if ids.size == 0:
-            raise InvalidParameterError("a placement must be non-empty")
-        if ids[0] < 0 or ids[-1] >= torus.num_nodes:
-            raise InvalidParameterError(
-                f"node ids must lie in [0, {torus.num_nodes})"
-            )
+        check_node_ids(ids, torus.num_nodes)
         self.node_ids = ids
         self.name = str(name)
 

@@ -11,10 +11,12 @@ unchanged.
 from __future__ import annotations
 
 from functools import cached_property
+from typing import Iterable
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.util.validation import check_shape
 
 __all__ = ["MixedTorus"]
 
@@ -34,17 +36,9 @@ class MixedTorus:
     (24, 96)
     """
 
-    def __init__(self, shape):
-        shape = tuple(int(k) for k in shape)
-        if len(shape) < 1:
-            raise InvalidParameterError("shape must have at least 1 dimension")
-        for k in shape:
-            if k < 2:
-                raise InvalidParameterError(
-                    f"every radix must be >= 2, got shape {shape}"
-                )
-        self.shape = shape
-        self.d = len(shape)
+    def __init__(self, shape: Iterable[int]):
+        self.shape = check_shape(shape)
+        self.d = len(self.shape)
 
     # --------------------------------------------------------------- sizes
 

@@ -13,8 +13,6 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import InvalidParameterError
 from repro.load.odr_loads import odr_edge_loads
 from repro.placements.base import Placement

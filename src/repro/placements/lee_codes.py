@@ -29,7 +29,6 @@ from repro.errors import InvalidParameterError
 from repro.placements.base import Placement
 from repro.torus.coords import all_coords, coords_to_ids
 from repro.torus.topology import Torus
-from repro.util.modular import lee_distance
 
 __all__ = [
     "lee_sphere_size",

@@ -23,7 +23,6 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.placements.base import Placement
 from repro.torus.coords import coords_to_ids
-from repro.torus.topology import Torus
 
 __all__ = [
     "translate_placement",

@@ -4,11 +4,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
 from repro.errors import RoutingError
 from repro.torus.topology import Torus
 
-__all__ = ["Path", "RoutingAlgorithm", "walk_moves"]
+if TYPE_CHECKING:  # numpy only needed for the coordinate alias
+    import numpy as np
+
+__all__ = ["Path", "RoutingAlgorithm", "walk_moves", "CoordLike"]
+
+#: anything accepted as a torus coordinate: a tuple/list of ints or a
+#: length-``d`` integer numpy row.
+CoordLike = Union[Sequence[int], "np.ndarray"]
 
 
 @dataclass(frozen=True)
@@ -43,7 +51,7 @@ class Path:
         """Whether the path traverses the given dense edge id."""
         return edge_id in self.edge_ids
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(self.nodes) != len(self.edge_ids) + 1:
             raise RoutingError(
                 f"path has {len(self.nodes)} nodes but {len(self.edge_ids)} "
@@ -51,7 +59,11 @@ class Path:
             )
 
 
-def walk_moves(torus: Torus, start_coord, moves) -> Path:
+def walk_moves(
+    torus: Torus,
+    start_coord: CoordLike,
+    moves: Iterable[tuple[int, int]],
+) -> Path:
     """Materialize a :class:`Path` from a start coordinate and a move list.
 
     ``moves`` is a sequence of ``(dim, sign)`` single-hop steps.  Raises
@@ -93,10 +105,14 @@ class RoutingAlgorithm(abc.ABC):
     translation_invariant: bool = False
 
     @abc.abstractmethod
-    def paths(self, torus: Torus, p_coord, q_coord) -> list[Path]:
+    def paths(
+        self, torus: Torus, p_coord: CoordLike, q_coord: CoordLike
+    ) -> list[Path]:
         """The path set :math:`C^A_{p→q}`; non-empty for ``p != q``."""
 
-    def num_paths(self, torus: Torus, p_coord, q_coord) -> int:
+    def num_paths(
+        self, torus: Torus, p_coord: CoordLike, q_coord: CoordLike
+    ) -> int:
         """:math:`|C^A_{p→q}|`.  Default: materialize and count.
 
         Subclasses override with closed forms where available (e.g. UDR's

@@ -11,14 +11,13 @@ them explicitly.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.routing.base import CoordLike
 from repro.util.modular import TIE_BOTH, TIE_PLUS, minimal_correction
 
 __all__ = ["corrections", "correction_options", "signed_moves"]
 
 
-def corrections(p_coord, q_coord, k: int) -> list[int]:
+def corrections(p_coord: CoordLike, q_coord: CoordLike, k: int) -> list[int]:
     """Canonical signed corrections per dimension (ties resolved to ``+``).
 
     Returns a list ``delta`` with ``delta[i]`` the signed hop count in
@@ -30,7 +29,9 @@ def corrections(p_coord, q_coord, k: int) -> list[int]:
     ]
 
 
-def correction_options(p_coord, q_coord, k: int) -> list[tuple[int, ...]]:
+def correction_options(
+    p_coord: CoordLike, q_coord: CoordLike, k: int
+) -> list[tuple[int, ...]]:
     """All minimal signed corrections per dimension.
 
     Each entry is a tuple of the minimal-length signed deltas for that

@@ -34,6 +34,10 @@ class FaultMaskedRouting(RoutingAlgorithm):
         detect and report the disconnected pair themselves.
     """
 
+    #: a concrete failure set breaks the torus's vertex transitivity, so
+    #: the displacement-class cache must never serve this routing.
+    translation_invariant = False
+
     def __init__(self, base: RoutingAlgorithm, failed_edge_ids, strict: bool = True):
         self.base = base
         self.failed: frozenset[int] = frozenset(int(e) for e in failed_edge_ids)

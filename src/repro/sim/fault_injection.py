@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.placements.base import Placement
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.faults import FaultMaskedRouting
@@ -89,6 +90,13 @@ def pair_connectivity_under_faults(
                 continue
             total += 1
             original = routing.paths(torus, coords[i], coords[j])
+            if not original:
+                raise SimulationError(
+                    f"routing {routing.name!r} returned no path for pair "
+                    f"{tuple(int(c) for c in coords[i])} -> "
+                    f"{tuple(int(c) for c in coords[j])}; cannot measure "
+                    "path survival for a disconnected baseline"
+                )
             surviving = masked.surviving_paths(torus, coords[i], coords[j])
             frac_sum += len(surviving) / len(original)
             if not surviving:

@@ -57,10 +57,12 @@ def compare_sim_to_analytic(
     routing: RoutingAlgorithm,
     analytic_loads: np.ndarray,
     rounds: int = 1,
-    seed=None,
+    seed: int | None = None,
 ) -> ValidationReport:
     """Simulate ``rounds`` complete exchanges and compare per-link counters
     (normalized per exchange) against ``analytic_loads``."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
     torus = placement.torus
     packets = complete_exchange_packets(placement, routing, seed=seed, rounds=rounds)
     engine = CycleEngine(SimNetwork(torus))

@@ -125,6 +125,10 @@ class WormholeResult:
 
     @property
     def link_packet_counts(self) -> np.ndarray:
+        if self.flits_per_packet < 1:
+            raise SimulationError(
+                f"flits_per_packet must be >= 1, got {self.flits_per_packet}"
+            )
         return self.link_flit_counts / self.flits_per_packet
 
     @property

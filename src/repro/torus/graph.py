@@ -8,7 +8,6 @@ faults) and for users who want to hand the torus to generic graph tooling.
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from repro.torus.topology import Torus
 

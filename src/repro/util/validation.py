@@ -6,12 +6,19 @@ and gives tests a single behaviour to pin down.
 
 from __future__ import annotations
 
+from typing import Collection, Iterable, TypeVar
+
 from repro.errors import InvalidParameterError
+
+#: numeric type preserved through a check (int stays int, float stays float).
+_NumT = TypeVar("_NumT", bound=float)
 
 __all__ = [
     "check_dimension",
     "check_radix",
     "check_torus_params",
+    "check_shape",
+    "check_node_ids",
     "check_probability",
     "check_positive",
     "check_nonnegative",
@@ -46,6 +53,26 @@ def check_torus_params(k: int, d: int) -> tuple[int, int]:
     return check_radix(k), check_dimension(d)
 
 
+def check_shape(shape: Iterable[int]) -> tuple[int, ...]:
+    """Validate a mixed-radix shape ``(k_1, …, k_d)``: ``d >= 1``, each
+    radix ``>= 2``.  Returns the shape normalized to a tuple of ints."""
+    normalized = tuple(int(k) for k in shape)
+    check_dimension(len(normalized))
+    for k in normalized:
+        check_radix(k)
+    return normalized
+
+
+def check_node_ids(node_ids: Collection[int], num_nodes: int) -> None:
+    """Validate a non-empty node-id collection within ``[0, num_nodes)``."""
+    if len(node_ids) == 0:
+        raise InvalidParameterError("a placement must be non-empty")
+    if int(min(node_ids)) < 0 or int(max(node_ids)) >= num_nodes:
+        raise InvalidParameterError(
+            f"node ids must lie in [0, {num_nodes})"
+        )
+
+
 def check_probability(p: float, name: str = "p") -> float:
     """Validate that ``p`` lies in ``[0, 1]``."""
     p = float(p)
@@ -54,14 +81,14 @@ def check_probability(p: float, name: str = "p") -> float:
     return p
 
 
-def check_positive(x, name: str = "value"):
+def check_positive(x: _NumT, name: str = "value") -> _NumT:
     """Validate that ``x > 0``."""
     if x <= 0:
         raise InvalidParameterError(f"{name} must be > 0, got {x}")
     return x
 
 
-def check_nonnegative(x, name: str = "value"):
+def check_nonnegative(x: _NumT, name: str = "value") -> _NumT:
     """Validate that ``x >= 0``."""
     if x < 0:
         raise InvalidParameterError(f"{name} must be >= 0, got {x}")

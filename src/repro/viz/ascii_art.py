@@ -16,8 +16,6 @@ direction is on a specified path.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import InvalidParameterError
 from repro.placements.base import Placement
 from repro.placements.linear import linear_placement

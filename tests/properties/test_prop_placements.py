@@ -3,7 +3,7 @@
 import math
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.placements.analysis import is_uniform, layer_counts

@@ -1,7 +1,6 @@
 """Property-based tests on the torus substrate."""
 
 import networkx as nx
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

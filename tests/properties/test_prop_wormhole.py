@@ -7,7 +7,6 @@ monotone within a dimension (once on VC1, stay on VC1 until the dimension
 changes).
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

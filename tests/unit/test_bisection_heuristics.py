@@ -1,6 +1,5 @@
 """Unit tests for repro.bisection.heuristics."""
 
-import pytest
 
 from repro.bisection.heuristics import spectral_bisection
 from repro.load.formulas import corollary1_bisection_bound

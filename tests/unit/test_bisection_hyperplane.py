@@ -1,6 +1,5 @@
 """Unit tests for repro.bisection.hyperplane (the Appendix algorithm)."""
 
-import numpy as np
 import pytest
 
 from repro.bisection.hyperplane import hyperplane_bisection

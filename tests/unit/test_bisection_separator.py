@@ -9,7 +9,6 @@ from repro.bisection.separator import (
     separator_size,
 )
 from repro.torus.subtorus import principal_subtorus_nodes
-from repro.torus.topology import Torus
 
 
 class TestSeparatorEdges:

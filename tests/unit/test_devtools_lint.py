@@ -1,0 +1,438 @@
+"""Tests for the repro.devtools.lint framework and rule set RL001-RL007.
+
+Every rule gets one failing and one passing fixture snippet; the
+framework-level tests cover suppressions, reporters, the runner CLI, and
+the self-check that the repo's own sources are clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    SYNTAX_ERROR_CODE,
+    all_rules,
+    lint_file,
+    lint_paths,
+    parse_noqa,
+)
+from repro.devtools.lint.__main__ import run
+from repro.devtools.lint.reporters import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _lint_snippet(tmp_path: Path, rel_path: str, source: str):
+    """Write ``source`` under ``tmp_path/rel_path`` and lint just that file."""
+    target = tmp_path / rel_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return lint_file(target)
+
+
+def _codes(findings) -> set[str]:
+    return {f.code for f in findings}
+
+
+# ------------------------------------------------------------------ RL001
+
+
+class TestRL001FloorOnLoad:
+    def test_flags_floor_division_of_load(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/analysis/mod.py",
+            "def f(total_load, n):\n    return total_load // n\n",
+        )
+        assert "RL001" in _codes(findings)
+
+    def test_flags_floor_call_on_bound(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/analysis/mod.py",
+            "import math\n\ndef f(eq8_bound):\n    return math.floor(eq8_bound)\n",
+        )
+        assert "RL001" in _codes(findings)
+
+    def test_flags_assignment_to_load_name(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/analysis/mod.py",
+            "def f(x, n):\n    emax = x // n\n    return emax\n",
+        )
+        assert "RL001" in _codes(findings)
+
+    def test_index_arithmetic_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/analysis/mod.py",
+            "def f(m, k):\n    half = m // 2\n    return half, k // 2\n",
+        )
+        assert "RL001" not in _codes(findings)
+
+
+# ------------------------------------------------------------------ RL002
+
+
+class TestRL002UnguardedDivision:
+    def test_flags_unguarded_denominator(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def f(x, n):\n    return x / n\n",
+        )
+        assert "RL002" in _codes(findings)
+
+    def test_guarded_denominator_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def f(x, n):\n"
+            "    if n <= 0:\n"
+            "        raise ValueError('n must be positive')\n"
+            "    return x / n\n",
+        )
+        assert "RL002" not in _codes(findings)
+
+    def test_ternary_guard_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def f(x, n):\n    return x / n if n else 0.0\n",
+        )
+        assert "RL002" not in _codes(findings)
+
+    def test_len_denominator_guarded_by_emptiness_check(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def f(w, paths):\n"
+            "    if not paths:\n"
+            "        raise ValueError('no paths')\n"
+            "    return w / len(paths)\n",
+        )
+        assert "RL002" not in _codes(findings)
+
+    def test_single_letter_name_needs_its_own_guard(self, tmp_path):
+        # a guard mentioning `link` must not cover a denominator `k`
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/bisection/mod.py",
+            "def f(x, k, link):\n"
+            "    if link:\n"
+            "        pass\n"
+            "    return x / k\n",
+        )
+        assert "RL002" in _codes(findings)
+
+    def test_out_of_scope_package_ignored(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/viz/mod.py",
+            "def f(x, n):\n    return x / n\n",
+        )
+        assert "RL002" not in _codes(findings)
+
+
+# ------------------------------------------------------------------ RL003
+
+
+class TestRL003RoutingInvarianceFlag:
+    def test_flags_missing_declaration(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/routing/mod.py",
+            "class MyRouting(RoutingAlgorithm):\n"
+            "    def paths(self, torus, p, q):\n"
+            "        return []\n",
+        )
+        assert "RL003" in _codes(findings)
+
+    def test_explicit_declaration_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/routing/mod.py",
+            "class MyRouting(RoutingAlgorithm):\n"
+            "    translation_invariant = True\n"
+            "    def paths(self, torus, p, q):\n"
+            "        return []\n",
+        )
+        assert "RL003" not in _codes(findings)
+
+    def test_indirect_subclass_inherits(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/routing/mod.py",
+            "class Derived(DimensionOrderRouting):\n"
+            "    pass\n",
+        )
+        assert "RL003" not in _codes(findings)
+
+
+# ------------------------------------------------------------------ RL004
+
+
+class TestRL004FacadeBypass:
+    def test_flags_oracle_import_outside_load(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "from repro.load.edge_loads import edge_loads_reference\n\n"
+            "def f(p, r):\n    return edge_loads_reference(p, r)\n",
+        )
+        assert "RL004" in _codes(findings)
+
+    def test_flags_backend_class_use(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            "import repro.load.engine.reference as ref\n\n"
+            "def f():\n    return ref.ReferenceBackend()\n",
+        )
+        assert "RL004" in _codes(findings)
+
+    def test_facade_use_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "from repro.load.engine import LoadEngine\n\n"
+            "def f(p, r):\n    return LoadEngine('reference').edge_loads(p, r)\n",
+        )
+        assert "RL004" not in _codes(findings)
+
+    def test_inside_load_package_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "from repro.load.edge_loads import edge_loads_reference\n\n"
+            "def f(p, r):\n    return edge_loads_reference(p, r)\n",
+        )
+        assert "RL004" not in _codes(findings)
+
+
+# ------------------------------------------------------------------ RL005
+
+
+class TestRL005ConstructorValidation:
+    def test_flags_unvalidated_constructor(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/torus/mod.py",
+            "class Grid:\n"
+            "    def __init__(self, k, d):\n"
+            "        self.k = k\n"
+            "        self.d = d\n",
+        )
+        assert "RL005" in _codes(findings)
+
+    def test_validated_constructor_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/torus/mod.py",
+            "from repro.util.validation import check_torus_params\n\n"
+            "class Grid:\n"
+            "    def __init__(self, k, d):\n"
+            "        self.k, self.d = check_torus_params(k, d)\n",
+        )
+        assert "RL005" not in _codes(findings)
+
+    def test_private_class_and_no_init_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/mixedradix/mod.py",
+            "class _Helper:\n"
+            "    def __init__(self, x):\n"
+            "        self.x = x\n\n"
+            "class Frozen:\n"
+            "    pass\n",
+        )
+        assert "RL005" not in _codes(findings)
+
+
+# ------------------------------------------------------------------ RL006
+
+
+class TestRL006UnusedImport:
+    def test_flags_unused_import(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "import numpy as np\n\ndef f():\n    return 1\n",
+        )
+        assert "RL006" in _codes(findings)
+
+    def test_used_import_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "import numpy as np\n\ndef f():\n    return np.zeros(3)\n",
+        )
+        assert "RL006" not in _codes(findings)
+
+    def test_future_and_all_reexport_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "from __future__ import annotations\n"
+            "from math import tau\n\n"
+            "__all__ = ['tau']\n",
+        )
+        assert "RL006" not in _codes(findings)
+
+    def test_init_file_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/__init__.py",
+            "from math import tau\n",
+        )
+        assert "RL006" not in _codes(findings)
+
+    def test_flake8_noqa_on_line_honored(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "import repro.experiments  # noqa: F401\n",
+        )
+        assert "RL006" not in _codes(findings)
+
+
+# ------------------------------------------------------------------ RL007
+
+
+class TestRL007MutableDefault:
+    def test_flags_mutable_default(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "def f(acc=[]):\n    return acc\n",
+        )
+        assert "RL007" in _codes(findings)
+
+    def test_none_default_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "def f(acc=None):\n    return acc if acc is not None else []\n",
+        )
+        assert "RL007" not in _codes(findings)
+
+    def test_kwonly_dict_default_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "def f(*, table={}):\n    return table\n",
+        )
+        assert "RL007" in _codes(findings)
+
+
+# ------------------------------------------------------ framework behaviour
+
+
+class TestSuppressions:
+    def test_scoped_noqa_suppresses_one_code(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "import numpy as np  # repro: noqa(RL006)\n",
+        )
+        assert "RL006" not in _codes(findings)
+
+    def test_scoped_noqa_leaves_other_codes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "def f(acc=[]):  # repro: noqa(RL006)\n    return acc\n",
+        )
+        assert "RL007" in _codes(findings)
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/mod.py",
+            "def f(acc=[]):  # repro: noqa\n    return acc\n",
+        )
+        assert findings == []
+
+    def test_multi_code_noqa(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def f(total_load, n):\n"
+            "    return total_load // n  # repro: noqa(RL001, RL002)\n",
+        )
+        assert findings == []
+
+    def test_parse_noqa_shapes(self):
+        noqa = parse_noqa(
+            "x = 1  # repro: noqa\n"
+            "y = 2  # repro: noqa(RL001)\n"
+            "z = 3\n"
+        )
+        assert noqa[1] is None
+        assert noqa[2] == frozenset({"RL001"})
+        assert 3 not in noqa
+
+
+class TestFramework:
+    def test_registry_has_the_seven_rules(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == [f"RL00{i}" for i in range(1, 8)]
+
+    def test_syntax_error_reported_as_rl000(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "repro/mod.py", "def f(:\n")
+        assert [f.code for f in findings] == [SYNTAX_ERROR_CODE]
+
+    def test_select_and_ignore(self, tmp_path):
+        target = tmp_path / "repro" / "util" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import numpy as np\n\ndef f(acc=[]):\n    return acc\n")
+        only_unused = lint_paths([target], select=["RL006"])
+        assert _codes(only_unused.findings) == {"RL006"}
+        without_unused = lint_paths([target], ignore=["RL006"])
+        assert _codes(without_unused.findings) == {"RL007"}
+
+    def test_unknown_code_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            lint_paths([tmp_path], select=["RL999"])
+
+    def test_text_and_json_reporters(self, tmp_path):
+        target = tmp_path / "repro" / "util" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import numpy as np\n")
+        report = lint_paths([target])
+        text = render_text(report)
+        assert "RL006" in text and "1 finding(s)" in text
+        doc = render_json(report)
+        assert '"RL006"' in doc and '"total": 1' in doc
+
+    def test_runner_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "repro" / "util" / "mod.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text("import numpy as np\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert run([str(clean)]) == 0
+        assert run([str(dirty)]) == 1
+        assert run([str(clean), "--select", "RL999"]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert run(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "RL007" in out
+
+
+class TestSelfCheck:
+    """The repo must stay clean under its own linter (the CI gate)."""
+
+    def test_src_is_clean(self):
+        report = lint_paths([REPO_ROOT / "src"])
+        assert report.files_scanned > 0
+        assert report.findings == [], render_text(report)
+
+    def test_tests_are_clean(self):
+        report = lint_paths([REPO_ROOT / "tests"])
+        assert report.files_scanned > 0
+        assert report.findings == [], render_text(report)

@@ -6,7 +6,6 @@ assumption in the stack; these tests pin the behaviour end to end.
 """
 
 import numpy as np
-import pytest
 
 from repro.bisection.dimension_cut import best_dimension_cut
 from repro.bisection.hyperplane import hyperplane_bisection

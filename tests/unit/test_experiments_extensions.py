@@ -1,6 +1,5 @@
 """Unit tests for the extension experiments (EXP-14 … EXP-20 internals)."""
 
-import pytest
 
 from repro.experiments import get_experiment
 

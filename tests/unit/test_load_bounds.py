@@ -12,7 +12,6 @@ from repro.load.bounds import (
     separator_size,
 )
 from repro.load.odr_loads import odr_edge_loads
-from repro.placements.base import Placement
 from repro.placements.fully import block_placement
 from repro.placements.linear import linear_placement
 from repro.torus.topology import Torus

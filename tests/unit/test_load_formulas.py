@@ -112,7 +112,6 @@ class TestMultipleInteriorForm:
 class TestMultipleInteriorMeasured:
     @pytest.mark.parametrize("k,t", [(6, 2), (7, 2), (8, 3)])
     def test_measured_matches_formula(self, k, t):
-        import numpy as np
 
         from repro.load.distribution import per_dimension_max
         from repro.load.odr_loads import odr_edge_loads

@@ -10,7 +10,6 @@ from repro.placements.fully import (
     fully_populated_placement,
     single_subtorus_placement,
 )
-from repro.torus.topology import Torus
 
 
 class TestFullyPopulated:

@@ -1,6 +1,5 @@
 """Unit tests for repro.placements.multiple."""
 
-import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError

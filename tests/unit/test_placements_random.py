@@ -8,7 +8,6 @@ from repro.placements.random_placement import (
     random_placement,
     random_uniform_placement,
 )
-from repro.torus.topology import Torus
 
 
 class TestRandomPlacement:

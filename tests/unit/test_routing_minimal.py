@@ -1,6 +1,5 @@
 """Unit tests for repro.routing.minimal."""
 
-import math
 
 from repro.routing.minimal import AllMinimalPaths, count_minimal_paths
 from repro.routing.udr import UnorderedDimensionalRouting

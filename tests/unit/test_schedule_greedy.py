@@ -1,7 +1,6 @@
 """Unit tests for repro.schedule.greedy."""
 
 import numpy as np
-import pytest
 
 from repro.placements.base import Placement
 from repro.placements.linear import linear_placement

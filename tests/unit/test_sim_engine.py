@@ -7,7 +7,6 @@ from repro.errors import SimulationError
 from repro.sim.engine import CycleEngine
 from repro.sim.network import SimNetwork
 from repro.sim.packet import Packet
-from repro.torus.topology import Torus
 
 
 def _path_edges(torus, coords_seq):

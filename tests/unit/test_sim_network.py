@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.network import SimNetwork
-from repro.torus.topology import Torus
 
 
 class TestSimNetwork:

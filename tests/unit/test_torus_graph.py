@@ -1,7 +1,6 @@
 """Unit tests for repro.torus.graph."""
 
 import networkx as nx
-import pytest
 
 from repro.torus.graph import (
     full_torus_diameter,

@@ -9,7 +9,6 @@ from repro.torus.subtorus import (
     principal_subtorus_nodes,
     subtorus_layer_counts,
 )
-from repro.torus.topology import Torus
 
 
 class TestPrincipalSubtorus:
