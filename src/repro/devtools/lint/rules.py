@@ -1,4 +1,4 @@
-"""The built-in rule set: repo-specific invariants RL001–RL007.
+"""The built-in rule set: repo-specific invariants RL001–RL008.
 
 Each rule generalizes a bug class this repository has actually hit (see
 ``docs/STATIC_ANALYSIS.md`` for the catalogue and the PR-1 incidents the
@@ -23,6 +23,7 @@ __all__ = [
     "ConstructorSkipsValidation",
     "UnusedImport",
     "MutableDefaultArgument",
+    "FullLoadEvalInLoop",
 ]
 
 #: identifier fragments that mark a value as a real-valued load figure —
@@ -558,3 +559,57 @@ class MutableDefaultArgument(Rule):
             and isinstance(node.func, ast.Name)
             and node.func.id in self._MUTABLE_FACTORIES
         )
+
+
+@register
+class FullLoadEvalInLoop(Rule):
+    """RL008 — ``odr_edge_loads`` called inside a loop in ``placements/``.
+
+    A full evaluation is :math:`O(|P|^2)` pair work; search and
+    enumeration code in :mod:`repro.placements` that re-evaluates inside
+    a loop almost always wants the :math:`O(|P|)` incremental kernels
+    (:func:`repro.load.odr_loads.odr_edge_loads_add_delta` /
+    ``_swap_delta``) instead — the difference is the entire speed-up of
+    the exact-search engine.  Sites that *are* the brute-force oracle
+    (e.g. the catalog sweep) certify themselves with
+    ``# repro: noqa(RL008)``.
+    """
+
+    code = "RL008"
+    summary = "full odr_edge_loads evaluation inside a loop in placements/"
+
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp,
+              ast.DictComp, ast.GeneratorExp)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file:
+            return False
+        return ctx.in_package("placements")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        reported: set[tuple[int, int]] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, self._LOOPS):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if name != "odr_edge_loads":
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in reported:  # nested loops see the same call twice
+                    continue
+                reported.add(key)
+                yield self.finding(
+                    ctx,
+                    node,
+                    "full O(|P|^2) `odr_edge_loads` evaluation inside a "
+                    "loop — use the incremental kernels "
+                    "(`odr_edge_loads_add_delta`/`_swap_delta`), or "
+                    "suppress with `# repro: noqa(RL008)` if this site is "
+                    "deliberately the brute-force oracle",
+                )

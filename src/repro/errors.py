@@ -17,6 +17,7 @@ __all__ = [
     "EngineError",
     "SimulationError",
     "ExperimentError",
+    "SearchError",
 ]
 
 
@@ -80,3 +81,14 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured with parameters it cannot honour."""
+
+
+class SearchError(ReproError):
+    """An exact placement search failed or detected an internal
+    inconsistency.
+
+    Examples: an ``initial_upper_bound`` seed below the true minimum (no
+    placement survives the pruning), or an orbit-size accounting mismatch
+    against :math:`C(k^d, n)` — the latter indicates a bug and is checked
+    defensively after every symmetry-reduced sweep.
+    """

@@ -30,6 +30,7 @@ __all__ = [
     "dimension_order_edge_loads",
     "accumulate_pair_loads",
     "odr_edge_loads_swap_delta",
+    "odr_edge_loads_add_delta",
 ]
 
 
@@ -195,6 +196,40 @@ def odr_edge_loads_swap_delta(
     add_rep = np.repeat(added, n, axis=0)
     accumulate_pair_loads(out, k, d, rem_rep, kept, scale=-1.0)
     accumulate_pair_loads(out, k, d, kept, rem_rep, scale=-1.0)
+    accumulate_pair_loads(out, k, d, add_rep, kept, scale=+1.0)
+    accumulate_pair_loads(out, k, d, kept, add_rep, scale=+1.0)
+    return out
+
+
+def odr_edge_loads_add_delta(
+    torus,
+    loads: np.ndarray,
+    kept_coords: np.ndarray,
+    added_coord,
+) -> np.ndarray:
+    """Incremental ODR loads after *adding* one processor to a placement.
+
+    The growth primitive behind the branch-and-bound engine
+    (:mod:`repro.placements.exact_search`): given the complete-exchange
+    ``loads`` of the placement whose processors sit at ``kept_coords``,
+    returns the loads after a processor is added at ``added_coord`` in
+    :math:`O(|P|)` pair work instead of :math:`O(|P|^2)` — only the
+    ``added ↔ kept`` pairs (both directions) are new.
+
+    Since every pair contributes non-negative load, growing a placement
+    one node at a time makes the partial :math:`E_{max}` monotone
+    non-decreasing — the property the search's pruning relies on.
+
+    The input ``loads`` array is not modified.
+    """
+    k, d = torus.k, torus.d
+    kept = np.atleast_2d(np.asarray(kept_coords, dtype=np.int64))
+    added = np.asarray(added_coord, dtype=np.int64).reshape(1, d)
+    out = np.array(loads, dtype=np.float64, copy=True)
+    n = kept.shape[0]
+    if n == 0:
+        return out
+    add_rep = np.repeat(added, n, axis=0)
     accumulate_pair_loads(out, k, d, add_rep, kept, scale=+1.0)
     accumulate_pair_loads(out, k, d, kept, add_rep, scale=+1.0)
     return out

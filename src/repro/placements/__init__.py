@@ -42,12 +42,19 @@ from repro.placements.analysis import (
 )
 from repro.placements.registry import get_family, family_names, register_family
 from repro.placements.catalog import global_minimum_emax, enumerate_placements
+from repro.placements.exact_search import (
+    ExactSearchResult,
+    SearchCounters,
+    exact_global_minimum,
+)
 from repro.placements.symmetry import (
     translate_placement,
     permute_dimensions,
     reflect_dimensions,
     canonical_form,
     are_equivalent_placements,
+    AutomorphismGroup,
+    automorphism_group,
 )
 
 __all__ = [
@@ -73,9 +80,14 @@ __all__ = [
     "register_family",
     "global_minimum_emax",
     "enumerate_placements",
+    "ExactSearchResult",
+    "SearchCounters",
+    "exact_global_minimum",
     "translate_placement",
     "permute_dimensions",
     "reflect_dimensions",
     "canonical_form",
     "are_equivalent_placements",
+    "AutomorphismGroup",
+    "automorphism_group",
 ]

@@ -1,0 +1,534 @@
+"""Symmetry-reduced, bound-pruned exact optimality certification.
+
+:func:`repro.placements.catalog.global_minimum_emax` certifies the global
+ODR :math:`E_{max}` minimum by brute force — one full :math:`O(|P|^2)`
+evaluation per candidate, all :math:`C(k^d, n)` of them.  This module
+reaches the same *exact* answers with two classic search-space
+reductions, pushing certification from :math:`T_4^2` to :math:`T_6^2`
+and beyond:
+
+**Orbit enumeration (orderly generation).**  Placements are grown as
+sorted node-id tuples, one processor at a time, and a prefix is expanded
+only when it is the lexicographically least member of its orbit under the
+full automorphism group (:class:`~repro.placements.symmetry.AutomorphismGroup`,
+order :math:`k^d \\cdot d! \\cdot 2^d`).  The Read/Faradžev canonicity
+theorem makes this complete: removing the largest element of a canonical
+set leaves a canonical set, so every canonical ``n``-set is reached by a
+unique chain of canonical prefixes and each orbit is visited exactly once.
+Exact per-placement accounting survives the quotient via
+orbit–stabilizer counting: an orbit has :math:`|G|/|\\mathrm{Stab}(R)|`
+members, so ``num_optimal`` and the :math:`E_{max}` histogram are still
+reported over *all* placements, bit-identical to the brute force.
+
+**The ODR variant subtlety.**  Restricted-ODR :math:`E_{max}` is
+invariant under translations only: dimension permutations re-order the
+correction sequence and reflections flip the even-``k`` tie-break, so
+:math:`E_{max}` varies *within* a full-group orbit.  Each canonical
+representative ``R`` is therefore evaluated under every point-group
+variant ``h`` (all :math:`d!\\cdot 2^d` ``reflect∘permute`` images; only
+the :math:`d!` permutations when ``k`` is odd, where minimal corrections
+are unique and reflections provably map ODR paths to ODR paths).  The
+orbit member :math:`t\\cdot h\\cdot R` has
+:math:`E_{max} = E_{max}(h(R))`, and value ``v`` occurs exactly
+:math:`k^d \\cdot \\#\\{h : E_{max}(h(R)) = v\\}/|\\mathrm{Stab}(R)|`
+times in the orbit — an integer, because the fibers of
+:math:`g \\mapsto g(R)` partition evenly.
+
+**Branch and bound.**  Each variant's load vector is maintained
+incrementally along the prefix tree via
+:func:`repro.load.odr_loads.odr_edge_loads_add_delta` —
+:math:`O(|P|)` pair work per grown node instead of :math:`O(|P|^2)` per
+leaf; the engine performs *zero* from-scratch placement evaluations.
+Because loads only ever increase as processors are added, the partial
+:math:`E_{max}` of a prefix lower-bounds every completion, and Lemma 1
+gives a second, routing-independent bound
+:math:`2|S|(|P|-|S|)/|∂S|` from the prefix's separator.  In ``bound``
+mode any subtree (or individual variant) whose bound strictly exceeds
+the incumbent is pruned — exact for the minimum and ``num_optimal``
+(achievers are never pruned), while the full histogram is only produced
+in ``full`` mode, which disables pruning.
+
+Subtree roots can be sharded over a process pool
+(:class:`concurrent.futures.ProcessPoolExecutor` with per-worker group
+tables, the :mod:`repro.load.engine.parallel` pattern); per-worker
+incumbents keep the search exact without cross-process communication.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bisection.separator import separator_size
+from repro.errors import InvalidParameterError, SearchError
+from repro.load.formulas import separator_lower_bound
+from repro.load.odr_loads import odr_edge_loads_add_delta
+from repro.placements.base import Placement
+from repro.placements.symmetry import automorphism_group
+from repro.torus.topology import Torus
+
+__all__ = [
+    "SearchCounters",
+    "ExactSearchResult",
+    "exact_global_minimum",
+    "MAX_EXACT_SEARCH",
+]
+
+#: refuse exact certification beyond this many candidate placements.
+MAX_EXACT_SEARCH = 1_000_000_000
+
+#: split depth for process-pool sharding (subtree roots at this prefix size).
+_SPLIT_DEPTH = 3
+
+_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class SearchCounters:
+    """Work accounting for one exact search.
+
+    Attributes
+    ----------
+    canonicity_checks:
+        Candidate prefixes tested for orbit-canonicity.
+    canonical_nodes:
+        Prefixes that passed (tree nodes actually expanded or recorded).
+    leaf_orbits:
+        Canonical full-size representatives reached (orbits certified).
+    variant_evaluations:
+        Leaf :math:`E_{max}` readings — one per surviving point-group
+        variant per leaf orbit.  The brute-force equivalent is
+        :math:`C(k^d, n)` full placement evaluations.
+    pair_updates:
+        Ordered pairs pushed through the incremental load kernel.
+    full_evaluations:
+        From-scratch :math:`O(|P|^2)` placement evaluations performed by
+        the engine: always 0 — loads are only ever grown incrementally.
+    subtrees_pruned_emax:
+        Subtrees cut because every variant's monotone partial
+        :math:`E_{max}` exceeded the incumbent.
+    subtrees_pruned_separator:
+        Subtrees cut by the Lemma 1 separator bound.
+    variants_dropped:
+        Individual variants retired early (their partial :math:`E_{max}`
+        alone exceeded the incumbent).
+    """
+
+    canonicity_checks: int
+    canonical_nodes: int
+    leaf_orbits: int
+    variant_evaluations: int
+    pair_updates: int
+    full_evaluations: int
+    subtrees_pruned_emax: int
+    subtrees_pruned_separator: int
+    variants_dropped: int
+
+
+@dataclass(frozen=True)
+class ExactSearchResult:
+    """Outcome of a symmetry-reduced exact optimality sweep.
+
+    Mirrors :class:`repro.placements.catalog.CatalogResult` so the two are
+    directly cross-checkable.
+
+    Attributes
+    ----------
+    minimum_emax:
+        The exact global minimum ODR :math:`E_{max}` over all
+        :math:`C(k^d, n)` placements.
+    num_placements:
+        Size of the certified search space, :math:`C(k^d, n)`.
+    num_optimal:
+        Exactly how many placements achieve the minimum (counted over all
+        placements, not orbits).
+    example_optimal:
+        One placement achieving the minimum (its :math:`E_{max}` is
+        independently re-checkable with a full evaluation).
+    emax_histogram:
+        ``{emax: count}`` over **all** placements — ``full`` mode only
+        (``None`` in ``bound`` mode, where pruning truncates the tail).
+    num_orbits:
+        Total number of automorphism orbits of the space (``full`` mode
+        only; ``None`` in ``bound`` mode where pruned orbits are not
+        visited).
+    mode:
+        ``"full"`` or ``"bound"``.
+    group_order, num_variants:
+        Automorphism group order and per-representative ODR variants
+        evaluated.
+    counters:
+        Work accounting (see :class:`SearchCounters`).
+    """
+
+    minimum_emax: float
+    num_placements: int
+    num_optimal: int
+    example_optimal: Placement
+    emax_histogram: dict[float, int] | None
+    num_orbits: int | None
+    mode: str
+    group_order: int
+    num_variants: int
+    counters: SearchCounters
+
+
+class _SearchContext:
+    """Per-process search state: group tables, incumbent, accumulators."""
+
+    def __init__(
+        self, torus: Torus, size: int, mode: str, upper_bound: float
+    ):
+        self.torus = torus
+        self.size = size
+        self.mode = mode
+        self.group = automorphism_group(torus)
+        self.coords = torus.all_node_coords()
+        d = torus.d
+        if torus.k % 2 == 1:
+            # reflections preserve ODR paths for odd k: keep only the
+            # reflection-free point rows, each standing in for 2^d images.
+            rows = [
+                i
+                for i, (_perm, mask) in enumerate(self.group.point_descs)
+                if mask == 0
+            ]
+            self.variant_weight = 1 << d
+        else:
+            rows = list(range(self.group.point_order))
+            self.variant_weight = 1
+        self.variant_rows = np.array(rows, dtype=np.int64)
+        self.variant_ids = self.group.point_ids[self.variant_rows]
+        self.num_variants = len(rows)
+        # pruning incumbent: certified upper bound on the global minimum,
+        # shared across all roots this context processes.
+        self.incumbent = upper_bound
+        self._reset_partial()
+
+    # ------------------------------------------------------- partial state
+
+    def _reset_partial(self) -> None:
+        self.histogram: dict[float, int] = {}
+        self.best_value = math.inf
+        self.best_image_ids: np.ndarray | None = None
+        self.orbit_total = 0
+        self.counters = dict.fromkeys(SearchCounters.__dataclass_fields__, 0)
+
+    def take_partial(self) -> dict:
+        """Detach and return the accumulated per-root results."""
+        partial = {
+            "best_value": self.best_value,
+            "best_image_ids": self.best_image_ids,
+            "histogram": self.histogram,
+            "orbit_total": self.orbit_total,
+            "counters": self.counters,
+        }
+        self._reset_partial()
+        return partial
+
+    # ------------------------------------------------------------- search
+
+    def run_root(self, root: tuple[int, ...]) -> dict:
+        """Search the subtree under one canonical prefix; return partials."""
+        alive = np.arange(self.num_variants)
+        loads = np.zeros(
+            (self.num_variants, self.torus.num_edges), dtype=np.float64
+        )
+        # rebuild the prefix's incremental loads (workers receive ids only)
+        ids: tuple[int, ...] = ()
+        stab = self.group.order
+        for node in root:
+            alive, loads, stab = self._grow(ids, alive, loads, node)
+            ids += (node,)
+            if alive.size == 0:
+                return self.take_partial()
+        self._descend(ids, alive, loads, stab, frontier=None)
+        return self.take_partial()
+
+    def collect_frontier(self, depth: int) -> tuple[list[tuple[int, ...]], dict]:
+        """Canonical (pruned) prefixes at ``depth``, plus shallow partials."""
+        frontier: list[tuple[int, ...]] = []
+        alive = np.arange(self.num_variants)
+        loads = np.zeros(
+            (self.num_variants, self.torus.num_edges), dtype=np.float64
+        )
+        self._descend(
+            (), alive, loads, self.group.order, frontier=(depth, frontier)
+        )
+        return frontier, self.take_partial()
+
+    def _grow(
+        self,
+        ids: tuple[int, ...],
+        alive: np.ndarray,
+        loads: np.ndarray,
+        node: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Extend every surviving variant's loads by one grown node.
+
+        Returns the (possibly reduced) alive variant rows, their new load
+        vectors, and the stabilizer order of the extended prefix.
+        """
+        child = np.array(ids + (node,), dtype=np.int64)
+        canonical, stab = self.group.canonicity(child)
+        if not canonical:  # pragma: no cover - roots are always canonical
+            raise SearchError(f"prefix {tuple(child)} is not canonical")
+        m = len(ids)
+        prefix = np.array(ids, dtype=np.int64)
+        new_rows = []
+        for row in range(alive.size):
+            variant = self.variant_ids[alive[row]]
+            new_rows.append(
+                odr_edge_loads_add_delta(
+                    self.torus,
+                    loads[row],
+                    self.coords[variant[prefix]],
+                    self.coords[variant[node]],
+                )
+            )
+            self.counters["pair_updates"] += 2 * m
+        new_loads = np.stack(new_rows) if new_rows else loads[:0]
+        if self.mode == "bound" and math.isfinite(self.incumbent):
+            emaxes = new_loads.max(axis=1) if new_loads.size else np.empty(0)
+            keep = emaxes <= self.incumbent + _TOL
+            dropped = int(np.count_nonzero(~keep))
+            if dropped:
+                self.counters["variants_dropped"] += dropped
+                alive = alive[keep]
+                new_loads = new_loads[keep]
+        return alive, new_loads, stab
+
+    def _descend(
+        self,
+        ids: tuple[int, ...],
+        alive: np.ndarray,
+        loads: np.ndarray,
+        stab: int,
+        frontier: tuple[int, list[tuple[int, ...]]] | None,
+    ) -> None:
+        m = len(ids)
+        if m == self.size:
+            self._leaf(ids, alive, loads, stab)
+            return
+        if frontier is not None and m == frontier[0]:
+            frontier[1].append(ids)
+            return
+        num_nodes = self.torus.num_nodes
+        lower = ids[-1] + 1 if ids else 0
+        for node in range(lower, num_nodes - (self.size - m) + 1):
+            child = np.array(ids + (node,), dtype=np.int64)
+            self.counters["canonicity_checks"] += 1
+            canonical, child_stab = self.group.canonicity(child)
+            if not canonical:
+                continue
+            self.counters["canonical_nodes"] += 1
+            grown = m + 1
+            if (
+                self.mode == "bound"
+                and grown < self.size
+                and math.isfinite(self.incumbent)
+            ):
+                # Lemma 1 on the prefix: every completion still exchanges
+                # 2·m·(n-m) messages across the prefix's separator.
+                bound = separator_lower_bound(
+                    grown, self.size, separator_size(self.torus, child)
+                )
+                if bound > self.incumbent + _TOL:
+                    self.counters["subtrees_pruned_separator"] += 1
+                    continue
+            child_alive, child_loads, _ = self._grow(ids, alive, loads, node)
+            if child_alive.size == 0:
+                self.counters["subtrees_pruned_emax"] += 1
+                continue
+            self._descend(
+                ids + (node,), child_alive, child_loads, child_stab, frontier
+            )
+
+    def _leaf(
+        self,
+        ids: tuple[int, ...],
+        alive: np.ndarray,
+        loads: np.ndarray,
+        stab: int,
+    ) -> None:
+        self.counters["leaf_orbits"] += 1
+        self.counters["variant_evaluations"] += int(alive.size)
+        self.orbit_total += self.group.order // stab
+        emaxes = loads.max(axis=1)
+        # exact per-placement weights: value v occurs
+        # k^d · #{variants at v} · variant_weight / |Stab| times in the orbit
+        per_value: dict[float, int] = {}
+        for value in emaxes:
+            value = float(value)
+            per_value[value] = per_value.get(value, 0) + 1
+        for value, count in per_value.items():
+            weight, remainder = divmod(
+                count * self.variant_weight * self.group.num_translations,
+                stab,
+            )
+            if remainder:  # pragma: no cover - orbit-stabilizer invariant
+                raise SearchError(
+                    f"orbit weight {count}·{self.variant_weight}·"
+                    f"{self.group.num_translations} not divisible by "
+                    f"stabilizer {stab} at leaf {ids}"
+                )
+            self.histogram[value] = self.histogram.get(value, 0) + weight
+        smallest = float(emaxes.min())
+        if self.best_image_ids is None or smallest < self.best_value - _TOL:
+            self.best_value = smallest
+            winner = self.variant_ids[alive[int(np.argmin(emaxes))]]
+            self.best_image_ids = np.sort(winner[np.array(ids)])
+        if smallest < self.incumbent - _TOL:
+            self.incumbent = smallest
+
+
+# --------------------------------------------------------- multiprocessing
+
+_WORKER_CTX: _SearchContext | None = None
+
+
+def _init_worker(
+    k: int, d: int, size: int, mode: str, upper_bound: float
+) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = _SearchContext(Torus(k, d), size, mode, upper_bound)
+
+
+def _run_subtree(root: tuple[int, ...]) -> dict:
+    assert _WORKER_CTX is not None
+    return _WORKER_CTX.run_root(root)
+
+
+# ----------------------------------------------------------------- driver
+
+
+def _merge_partials(partials, histogram: dict[float, int], counters: dict):
+    best = math.inf
+    best_ids: np.ndarray | None = None
+    orbit_total = 0
+    for partial in partials:
+        for value, count in partial["histogram"].items():
+            histogram[value] = histogram.get(value, 0) + count
+        for key, count in partial["counters"].items():
+            counters[key] += count
+        orbit_total += partial["orbit_total"]
+        if partial["best_image_ids"] is not None and (
+            best_ids is None or partial["best_value"] < best - _TOL
+        ):
+            best = partial["best_value"]
+            best_ids = partial["best_image_ids"]
+    return best, best_ids, orbit_total
+
+
+def exact_global_minimum(
+    torus: Torus,
+    size: int,
+    mode: str = "bound",
+    processes: int | None = None,
+    initial_upper_bound: float | None = None,
+) -> ExactSearchResult:
+    """Exactly certify the minimum ODR :math:`E_{max}` over all placements.
+
+    Parameters
+    ----------
+    torus, size:
+        The certified space: all :math:`C(k^d, size)` placements.
+    mode:
+        ``"bound"`` (default) enables branch-and-bound pruning — exact
+        minimum, ``num_optimal`` and witness, no histogram.  ``"full"``
+        disables pruning and additionally returns the exact
+        :math:`E_{max}` histogram over all placements and the orbit
+        count (cross-checkable against
+        :func:`repro.placements.catalog.global_minimum_emax`).
+    processes:
+        ``None`` (default) searches serially; an integer > 1 shards
+        canonical subtree roots over a process pool.
+    initial_upper_bound:
+        Optional incumbent seed for ``bound`` mode — must be an
+        :math:`E_{max}` actually achieved by some size-``size`` placement
+        (e.g. the linear placement's).  A tighter seed prunes more;
+        an unachievable seed below the true minimum raises
+        :class:`~repro.errors.SearchError`.  Ignored in ``full`` mode.
+
+    Raises
+    ------
+    InvalidParameterError
+        For an invalid size/mode, or a search space beyond
+        :data:`MAX_EXACT_SEARCH`.
+    SearchError
+        If the orbit accounting fails its :math:`C(k^d, n)` cross-check
+        (``full`` mode) or no placement beats ``initial_upper_bound``.
+    """
+    if mode not in ("full", "bound"):
+        raise InvalidParameterError(
+            f"mode must be 'full' or 'bound', got {mode!r}"
+        )
+    if not 1 <= size <= torus.num_nodes:
+        raise InvalidParameterError(
+            f"size must satisfy 1 <= size <= {torus.num_nodes}, got {size}"
+        )
+    space = math.comb(torus.num_nodes, size)
+    if space > MAX_EXACT_SEARCH:
+        raise InvalidParameterError(
+            f"C({torus.num_nodes}, {size}) = {space} placements exceeds the "
+            f"exact-search limit {MAX_EXACT_SEARCH}"
+        )
+    upper = (
+        float(initial_upper_bound)
+        if mode == "bound" and initial_upper_bound is not None
+        else math.inf
+    )
+
+    context = _SearchContext(torus, size, mode, upper)
+    histogram: dict[float, int] = {}
+    counters = dict.fromkeys(SearchCounters.__dataclass_fields__, 0)
+
+    if processes is None or processes <= 1 or size < 2:
+        partials = [context.run_root(())]
+    else:
+        depth = min(_SPLIT_DEPTH, size - 1)
+        frontier, shallow = context.collect_frontier(depth)
+        partials = [shallow]
+        if frontier:
+            with ProcessPoolExecutor(
+                max_workers=min(processes, len(frontier)),
+                initializer=_init_worker,
+                initargs=(torus.k, torus.d, size, mode, upper),
+            ) as pool:
+                partials.extend(pool.map(_run_subtree, frontier))
+
+    best, best_ids, orbit_total = _merge_partials(
+        partials, histogram, counters
+    )
+
+    if best_ids is None:
+        raise SearchError(
+            f"no placement achieved E_max <= {upper:g}; "
+            "initial_upper_bound must be achievable (at or above the true "
+            "minimum)"
+        )
+    if mode == "full" and sum(histogram.values()) != space:
+        raise SearchError(
+            f"orbit accounting mismatch: histogram covers "
+            f"{sum(histogram.values())} placements, expected {space}"
+        )
+    num_optimal = sum(
+        count
+        for value, count in histogram.items()
+        if abs(value - best) <= _TOL
+    )
+    return ExactSearchResult(
+        minimum_emax=best,
+        num_placements=space,
+        num_optimal=num_optimal,
+        example_optimal=Placement(torus, best_ids, name="exact-optimal"),
+        emax_histogram=histogram if mode == "full" else None,
+        num_orbits=counters["leaf_orbits"] if mode == "full" else None,
+        mode=mode,
+        group_order=context.group.order,
+        num_variants=context.num_variants,
+        counters=SearchCounters(**counters),
+    )

@@ -11,18 +11,30 @@ negations are reflections).
 
 This module implements the group action and an exact isomorphism test for
 small tori (canonical form under the full group, or the translation
-subgroup only).
+subgroup only).  :class:`AutomorphismGroup` is the vectorized engine
+behind both: the whole group acts on a single ``(n, d)`` coordinate
+matrix as array ops, so canonicalizing a placement never materializes a
+:class:`Placement` per group element, and orbit sizes come exactly from
+stabilizer counting (orbit–stabilizer theorem).
+
+One caution for consumers: only *translations* leave the restricted-ODR
+load profile invariant.  Dimension permutations re-order the correction
+sequence and reflections flip the even-``k`` tie-break, so :math:`E_{max}`
+can differ between placements of the same full-group orbit (see
+:mod:`repro.placements.exact_search` for the exact accounting).
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.placements.base import Placement
-from repro.torus.coords import coords_to_ids
+from repro.torus.coords import all_coords, coords_to_ids
+from repro.torus.topology import Torus
 
 __all__ = [
     "translate_placement",
@@ -30,6 +42,8 @@ __all__ = [
     "reflect_dimensions",
     "canonical_form",
     "are_equivalent_placements",
+    "AutomorphismGroup",
+    "automorphism_group",
 ]
 
 
@@ -87,6 +101,136 @@ def _id_key(placement: Placement) -> bytes:
     return placement.node_ids.tobytes()
 
 
+def _lexmin_row(rows: np.ndarray) -> np.ndarray:
+    """The lexicographically smallest row of a 2-D int array.
+
+    Works by column-wise filtering (keep only the rows achieving the
+    minimum in each successive column), so no packing into scalar keys is
+    needed and arbitrarily wide rows cannot overflow.
+    """
+    alive = rows
+    for col in range(rows.shape[1]):
+        values = alive[:, col]
+        alive = alive[values == values.min()]
+        if alive.shape[0] == 1:
+            break
+    return alive[0]
+
+
+class AutomorphismGroup:
+    """The automorphism group of :math:`T_k^d` acting on node-id sets.
+
+    The group is the semidirect product of the :math:`k^d` translations
+    with the *point group* of :math:`d!` dimension permutations and
+    :math:`2^d` per-dimension reflections (order
+    :math:`k^d \\cdot d! \\cdot 2^d`; for ``k == 2`` some elements coincide
+    as node permutations, which the orbit–stabilizer accounting absorbs).
+
+    Every image is computed on coordinate *matrices*: a point-group table
+    of shape ``(d!·2^d, k^d, d)`` is built once, and each query broadcasts
+    the selected rows against all translation offsets — no per-element
+    Python objects.
+
+    Point-group elements are applied as ``reflect(permute(x))`` and are
+    indexed by :attr:`point_descs` ``(perm, reflection_mask)`` pairs;
+    translations compose on the outside.
+    """
+
+    def __init__(self, torus: Torus):
+        self.torus = torus
+        k, d = torus.k, torus.d
+        base = all_coords(k, d)  # (k^d, d); row i == coordinate of node i
+        self._strides = np.array(
+            [k ** (d - 1 - i) for i in range(d)], dtype=np.int64
+        )
+        tables: list[np.ndarray] = []
+        descs: list[tuple[tuple[int, ...], int]] = []
+        for perm in itertools.permutations(range(d)):
+            permuted = base[:, perm]
+            for mask in range(1 << d):
+                image = permuted.copy()
+                for dim in range(d):
+                    if mask >> dim & 1:
+                        image[:, dim] = np.mod(-image[:, dim], k)
+                tables.append(image)
+                descs.append((perm, mask))
+        #: (point_order, k^d, d) — coordinates of every node's image under
+        #: each point-group element.
+        self.point_coords: np.ndarray = np.stack(tables)
+        #: (point_order, k^d) — same images as dense node ids.
+        self.point_ids: np.ndarray = self.point_coords @ self._strides
+        #: ``(perm, reflection_mask)`` describing each point-group row.
+        self.point_descs: tuple[tuple[tuple[int, ...], int], ...] = tuple(descs)
+        self.point_order: int = len(descs)
+        self.num_translations: int = k**d
+        #: full group order :math:`k^d \\cdot d! \\cdot 2^d`.
+        self.order: int = self.point_order * self.num_translations
+        self._offsets = base  # the k^d translation vectors
+
+    # ----------------------------------------------------------- images
+
+    def sorted_images(
+        self, node_ids, translations_only: bool = False
+    ) -> np.ndarray:
+        """Sorted image id rows of a node set under every group element.
+
+        Returns an ``(order, m)`` array (``(k^d, m)`` when
+        ``translations_only``); each row is one image of the set, sorted
+        ascending so rows compare as canonical set keys.
+        """
+        torus = self.torus
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if translations_only:
+            selected = torus.coords(ids)[None, :, :]  # (1, m, d)
+        else:
+            selected = self.point_coords[:, ids, :]  # (point_order, m, d)
+        shifted = np.mod(
+            selected[:, None, :, :] + self._offsets[None, :, None, :],
+            torus.k,
+        )  # (rows, k^d, m, d)
+        images = shifted @ self._strides
+        return np.sort(images.reshape(-1, ids.size), axis=1)
+
+    def canonical_ids(
+        self, node_ids, translations_only: bool = False
+    ) -> np.ndarray:
+        """The lexicographically smallest sorted image of the node set."""
+        return _lexmin_row(self.sorted_images(node_ids, translations_only))
+
+    def canonicity(self, node_ids) -> tuple[bool, int]:
+        """Whether the sorted node set is its orbit's canonical (lex-min)
+        representative, and the order of its stabilizer.
+
+        Returns ``(False, 0)`` as soon as a strictly smaller image is
+        found; otherwise ``(True, |Stab|)`` where ``|Stab|`` counts the
+        group elements (with multiplicity in the ``k == 2`` degenerate
+        case) that fix the set, so ``order // |Stab|`` is the exact orbit
+        size.
+        """
+        ids = np.sort(np.asarray(node_ids, dtype=np.int64))
+        alive = self.sorted_images(ids)
+        for col in range(ids.size):
+            values = alive[:, col]
+            smallest = values.min()
+            if smallest < ids[col]:
+                return False, 0
+            alive = alive[values == smallest]
+        return True, int(alive.shape[0])
+
+    def orbit_size(self, node_ids) -> int:
+        """Exact orbit size of the node set, via orbit–stabilizer."""
+        ids = np.sort(np.asarray(node_ids, dtype=np.int64))
+        images = self.sorted_images(ids)
+        stabilizer = int(np.count_nonzero(np.all(images == ids, axis=1)))
+        return self.order // stabilizer
+
+
+@functools.lru_cache(maxsize=16)
+def automorphism_group(torus: Torus) -> AutomorphismGroup:
+    """The (cached) :class:`AutomorphismGroup` of ``torus``."""
+    return AutomorphismGroup(torus)
+
+
 def canonical_form(
     placement: Placement, translations_only: bool = False
 ) -> Placement:
@@ -94,37 +238,16 @@ def canonical_form(
 
     ``translations_only=True`` restricts to the :math:`k^d` translations —
     enough for comparing linear-placement offsets and much cheaper.  The
-    full group enumerates :math:`k^d \\cdot d! \\cdot 2^d` images; use only
-    on small tori.
+    full group covers all :math:`k^d \\cdot d! \\cdot 2^d` images; both
+    paths act on a single coordinate matrix (no per-element
+    :class:`Placement` allocation), so canonicalization is one vectorized
+    pass even for the full group.
     """
-    torus = placement.torus
-    best = placement
-    best_key = _id_key(placement)
-
-    if translations_only:
-        transforms = (
-            translate_placement(placement, offset)
-            for offset in itertools.product(range(torus.k), repeat=torus.d)
-        )
-    else:
-        def _all_images():
-            for perm in itertools.permutations(range(torus.d)):
-                permuted = permute_dimensions(placement, perm)
-                for refl_mask in range(1 << torus.d):
-                    dims = [i for i in range(torus.d) if refl_mask >> i & 1]
-                    reflected = reflect_dimensions(permuted, dims)
-                    for offset in itertools.product(
-                        range(torus.k), repeat=torus.d
-                    ):
-                        yield translate_placement(reflected, offset)
-
-        transforms = _all_images()
-
-    for image in transforms:
-        key = _id_key(image)
-        if key < best_key:
-            best, best_key = image, key
-    return Placement(torus, best.node_ids, name=f"canon({placement.name})")
+    group = automorphism_group(placement.torus)
+    ids = group.canonical_ids(
+        placement.node_ids, translations_only=translations_only
+    )
+    return Placement(placement.torus, ids, name=f"canon({placement.name})")
 
 
 def are_equivalent_placements(

@@ -92,6 +92,35 @@ class TestCommands:
         assert main(["experiments", "--only", "EXP-99"]) == 2
 
 
+class TestCertify:
+    def test_default_size_seeds_linear_incumbent(self, capsys):
+        assert main(["certify", "--k", "4", "--d", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "incumbent seed  : linear placement E_max = 2" in out
+        assert "global min E_max: 2" in out
+        assert "optimal count   : 292" in out
+        assert "0 full evaluations" in out
+
+    def test_full_mode_prints_histogram(self, capsys):
+        assert main(["certify", "--k", "3", "--d", "2", "--mode", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "E_max histogram :" in out
+        assert "orbits          : 4" in out
+
+    def test_explicit_size_and_jobs(self, capsys):
+        assert main(
+            ["certify", "--k", "3", "--d", "2", "--size", "2", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "certified space : all C(9, 2) = 36 placements" in out
+
+    def test_unachievable_ub_exits_nonzero(self, capsys):
+        assert main(
+            ["certify", "--k", "3", "--d", "2", "--ub", "0.25"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestAnalyzeMarkdown:
     def test_markdown_flag(self, capsys):
         assert main(["analyze", "--k", "6", "--d", "2", "--markdown"]) == 0

@@ -1,4 +1,4 @@
-"""Tests for the repro.devtools.lint framework and rule set RL001-RL007.
+"""Tests for the repro.devtools.lint framework and rule set RL001-RL008.
 
 Every rule gets one failing and one passing fixture snippet; the
 framework-level tests cover suppressions, reporters, the runner CLI, and
@@ -327,6 +327,80 @@ class TestRL007MutableDefault:
         assert "RL007" in _codes(findings)
 
 
+# ------------------------------------------------------------------ RL008
+
+
+class TestRL008FullLoadEvalInLoop:
+    _LOOP_SNIPPET = (
+        "from repro.load.odr_loads import odr_edge_loads\n"
+        "def sweep(candidates):\n"
+        "    best = None\n"
+        "    for p in candidates:\n"
+        "        emax = odr_edge_loads(p).max()\n"
+        "        best = emax if best is None else min(best, emax)\n"
+        "    return best\n"
+    )
+
+    def test_flags_call_in_loop_in_placements(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "repro/placements/mod.py", self._LOOP_SNIPPET
+        )
+        assert "RL008" in _codes(findings)
+
+    def test_comprehension_counts_as_loop(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/placements/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "def sweep(candidates):\n"
+            "    return [odr_edge_loads(p).max() for p in candidates]\n",
+        )
+        assert "RL008" in _codes(findings)
+
+    def test_nested_loop_reports_once(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/placements/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "def sweep(grid):\n"
+            "    out = []\n"
+            "    for row in grid:\n"
+            "        for p in row:\n"
+            "            out.append(odr_edge_loads(p).max())\n"
+            "    return out\n",
+        )
+        assert [f.code for f in findings].count("RL008") == 1
+
+    def test_call_outside_loop_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/placements/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "def once(p):\n"
+            "    return odr_edge_loads(p).max()\n",
+        )
+        assert "RL008" not in _codes(findings)
+
+    def test_other_packages_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "repro/experiments/mod.py", self._LOOP_SNIPPET
+        )
+        assert "RL008" not in _codes(findings)
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/placements/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "def oracle(candidates):\n"
+            "    out = []\n"
+            "    for p in candidates:\n"
+            "        out.append(odr_edge_loads(p).max())  # repro: noqa(RL008)\n"
+            "    return out\n",
+        )
+        assert "RL008" not in _codes(findings)
+
+
 # ------------------------------------------------------ framework behaviour
 
 
@@ -376,9 +450,9 @@ class TestSuppressions:
 
 
 class TestFramework:
-    def test_registry_has_the_seven_rules(self):
+    def test_registry_has_the_eight_rules(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"RL00{i}" for i in range(1, 8)]
+        assert codes == [f"RL00{i}" for i in range(1, 9)]
 
     def test_syntax_error_reported_as_rl000(self, tmp_path):
         findings = _lint_snippet(tmp_path, "repro/mod.py", "def f(:\n")

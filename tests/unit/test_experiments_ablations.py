@@ -33,6 +33,20 @@ class TestGlobalOptimality:
         result = get_experiment("EXP-22").run(quick=True)
         assert any("exhaustively" in f for f in result.findings)
 
+    def test_certifies_with_zero_full_evaluations(self):
+        result = get_experiment("EXP-22").run(quick=True)
+        assert any(
+            "zero full placement evaluations" in f for f in result.findings
+        )
+
+    def test_cross_checked_against_brute_force(self):
+        result = get_experiment("EXP-22").run(quick=True)
+        assert any("brute-force catalog" in f for f in result.findings)
+
+    def test_linear_optimal_column_reported(self):
+        result = get_experiment("EXP-22").run(quick=True)
+        assert result.tables[0].column("linear optimal") == [True]
+
 
 class TestMixedRadix:
     def test_quick_passes(self):

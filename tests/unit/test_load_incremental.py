@@ -1,4 +1,4 @@
-"""Unit tests for the incremental ODR load update (swap delta)."""
+"""Unit tests for the incremental ODR load updates (swap/add deltas)."""
 
 import numpy as np
 import pytest
@@ -6,6 +6,7 @@ import pytest
 from repro.load.odr_loads import (
     accumulate_pair_loads,
     odr_edge_loads,
+    odr_edge_loads_add_delta,
     odr_edge_loads_swap_delta,
 )
 from repro.placements.base import Placement
@@ -71,6 +72,72 @@ class TestSwapDelta:
             torus.coord(int(ids[3]))
         )
         assert np.allclose(out, loads)
+
+
+class TestAddDelta:
+    @pytest.mark.parametrize("k,d,seed", [(4, 2, 0), (5, 2, 1), (4, 3, 2)])
+    def test_random_grow_sequence_matches_fresh_evaluation(self, k, d, seed):
+        # grow a random placement one node at a time; after every step the
+        # incrementally maintained loads must equal a from-scratch pass
+        torus = Torus(k, d)
+        rng = np.random.default_rng(seed)
+        ids = rng.choice(torus.num_nodes, size=min(8, torus.num_nodes), replace=False)
+        loads = np.zeros(torus.num_edges)
+        for m in range(1, len(ids)):
+            loads = odr_edge_loads_add_delta(
+                torus, loads, torus.coords(ids[:m]), torus.coord(int(ids[m]))
+            )
+            fresh = odr_edge_loads(Placement(torus, list(ids[: m + 1])))
+            assert np.allclose(loads, fresh)
+
+    def test_partial_emax_monotone_under_growth(self):
+        # the property the branch-and-bound pruning relies on
+        torus = Torus(5, 2)
+        rng = np.random.default_rng(3)
+        ids = rng.choice(torus.num_nodes, size=7, replace=False)
+        loads = np.zeros(torus.num_edges)
+        previous = 0.0
+        for m in range(1, len(ids)):
+            loads = odr_edge_loads_add_delta(
+                torus, loads, torus.coords(ids[:m]), torus.coord(int(ids[m]))
+            )
+            assert loads.max() >= previous
+            previous = float(loads.max())
+
+    def test_empty_kept_set_is_identity(self):
+        torus = Torus(4, 2)
+        loads = np.zeros(torus.num_edges)
+        out = odr_edge_loads_add_delta(
+            torus, loads, np.empty((0, 2), dtype=np.int64), torus.coord(5)
+        )
+        assert np.allclose(out, 0.0)
+
+    def test_input_not_mutated(self):
+        torus = Torus(4, 2)
+        placement = random_placement(torus, 5, seed=4)
+        loads = odr_edge_loads(placement)
+        before = loads.copy()
+        routers = np.setdiff1d(np.arange(torus.num_nodes), placement.node_ids)
+        odr_edge_loads_add_delta(
+            torus, loads, placement.coords(), torus.coord(int(routers[0]))
+        )
+        assert np.array_equal(loads, before)
+
+    def test_agrees_with_swap_from_nowhere(self):
+        # adding node a == swapping a in while removing nothing: cross-check
+        # against building the grown placement and comparing swap/add paths
+        torus = Torus(5, 2)
+        placement = random_placement(torus, 6, seed=5)
+        loads = odr_edge_loads(placement)
+        routers = np.setdiff1d(np.arange(torus.num_nodes), placement.node_ids)
+        added = int(routers[2])
+        grown = odr_edge_loads_add_delta(
+            torus, loads, placement.coords(), torus.coord(added)
+        )
+        full = odr_edge_loads(
+            Placement(torus, list(placement.node_ids) + [added])
+        )
+        assert np.allclose(grown, full)
 
 
 class TestAccumulatePairLoads:

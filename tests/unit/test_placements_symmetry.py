@@ -1,5 +1,7 @@
 """Unit tests for repro.torus.symmetry."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -8,14 +10,38 @@ from repro.load.odr_loads import odr_edge_loads
 from repro.placements.base import Placement
 from repro.placements.diagonal import antidiagonal_placement_2d
 from repro.placements.linear import linear_placement
+from repro.placements.random_placement import random_placement
 from repro.placements.symmetry import (
     are_equivalent_placements,
+    automorphism_group,
     canonical_form,
     permute_dimensions,
     reflect_dimensions,
     translate_placement,
 )
 from repro.torus.topology import Torus
+
+
+def _brute_force_images(placement, translations_only=False):
+    """Sorted id-tuples of every group image, via the per-element API."""
+    import itertools
+
+    torus = placement.torus
+    if translations_only:
+        point_images = [placement]
+    else:
+        point_images = []
+        for perm in itertools.permutations(range(torus.d)):
+            permuted = permute_dimensions(placement, perm)
+            for mask in range(1 << torus.d):
+                dims = [i for i in range(torus.d) if mask >> i & 1]
+                point_images.append(reflect_dimensions(permuted, dims))
+    images = []
+    for image in point_images:
+        for offset in itertools.product(range(torus.k), repeat=torus.d):
+            shifted = translate_placement(image, list(offset))
+            images.append(tuple(sorted(int(i) for i in shifted.node_ids)))
+    return images
 
 
 class TestGroupAction:
@@ -97,3 +123,79 @@ class TestLoadInvariance:
         assert np.array_equal(
             np.sort(odr_edge_loads(p)), np.sort(odr_edge_loads(q))
         )
+
+
+class TestAutomorphismGroup:
+    @pytest.mark.parametrize("k,d", [(3, 2), (4, 2), (3, 3)])
+    def test_group_order(self, k, d):
+        group = automorphism_group(Torus(k, d))
+        assert group.order == k**d * math.factorial(d) * 2**d
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sorted_images_match_per_element_action(self, seed):
+        torus = Torus(4, 2)
+        placement = random_placement(torus, 4, seed=seed)
+        group = automorphism_group(torus)
+        fast = {tuple(row) for row in group.sorted_images(placement.node_ids)}
+        slow = set(_brute_force_images(placement))
+        assert fast == slow
+
+    def test_translations_only_images(self):
+        torus = Torus(3, 2)
+        placement = random_placement(torus, 3, seed=7)
+        group = automorphism_group(torus)
+        fast = {
+            tuple(row)
+            for row in group.sorted_images(
+                placement.node_ids, translations_only=True
+            )
+        }
+        slow = set(_brute_force_images(placement, translations_only=True))
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_orbit_size_matches_distinct_images(self, seed):
+        torus = Torus(4, 2)
+        placement = random_placement(torus, 4, seed=seed)
+        group = automorphism_group(torus)
+        distinct = {
+            tuple(row) for row in group.sorted_images(placement.node_ids)
+        }
+        assert group.orbit_size(placement.node_ids) == len(distinct)
+
+    def test_canonicity_agrees_with_canonical_ids(self):
+        torus = Torus(3, 2)
+        group = automorphism_group(torus)
+        import itertools
+
+        for ids in itertools.combinations(range(torus.num_nodes), 3):
+            canonical, stab = group.canonicity(ids)
+            expected = tuple(group.canonical_ids(ids)) == ids
+            assert canonical == expected
+            if canonical:
+                assert group.order // stab == group.orbit_size(ids)
+
+    def test_group_is_cached(self):
+        torus = Torus(4, 2)
+        assert automorphism_group(torus) is automorphism_group(Torus(4, 2))
+
+
+class TestVectorizedCanonicalForm:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_canonical_is_lexmin_image(self, seed):
+        torus = Torus(4, 2)
+        placement = random_placement(torus, 5, seed=seed)
+        canon = canonical_form(placement)
+        expected = min(_brute_force_images(placement))
+        assert tuple(int(i) for i in canon.node_ids) == expected
+
+    def test_canonical_form_full_group_idempotent(self):
+        placement = random_placement(Torus(4, 2), 4, seed=9)
+        c1 = canonical_form(placement)
+        assert canonical_form(c1) == c1
+
+    def test_equivalent_placements_share_canonical_form(self):
+        torus = Torus(5, 2)
+        p = linear_placement(torus)
+        q = reflect_dimensions(translate_placement(p, [2, 3]), [1])
+        assert canonical_form(p) == canonical_form(q)
