@@ -12,16 +12,24 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep     --d 2 --ks 4,6,8,10 --family linear
     python -m repro certify   --k 5 --d 2                # exact optimality
     python -m repro certify   --k 4 --d 2 --mode full --jobs 4
+    python -m repro certify   --k 6 --d 2 --jobs 4 --checkpoint run.jsonl
+    python -m repro certify   --k 6 --d 2 --jobs 4 --checkpoint run.jsonl --resume
+    python -m repro experiments --checkpoint suite.jsonl --resume
+    python -m repro analyze   --k 8 --d 2 --jobs 4 --retries 3 --task-timeout 300
 
 Every subcommand prints plain text (markdown-compatible tables) to stdout
-and exits non-zero if a reproduction check fails.
+and exits non-zero if a reproduction check fails.  Long-running
+subcommands accept resilience flags (``--retries``, ``--task-timeout``,
+``--checkpoint``/``--resume``) and deterministic fault injection
+(``--chaos-seed``) wired through :mod:`repro.exec`.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro._version import __version__
 
@@ -50,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_torus_args(p_analyze)
     _add_engine_args(p_analyze)
+    _add_exec_args(p_analyze)
     p_analyze.add_argument(
         "--markdown",
         action="store_true",
@@ -58,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="run the reproduction suite")
     _add_engine_args(p_exp)
+    _add_exec_args(p_exp)
+    _add_checkpoint_args(p_exp)
     p_exp.add_argument(
         "--quick", action="store_true", help="use the reduced sweeps"
     )
@@ -104,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--routing", choices=["odr", "udr"], default="odr")
     _add_engine_args(p_sweep)
+    _add_exec_args(p_sweep)
 
     p_certify = sub.add_parser(
         "certify",
@@ -146,9 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
             "linear placement's, when --size is the linear size)"
         ),
     )
+    _add_exec_args(p_certify)
+    _add_checkpoint_args(p_certify)
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis rules (RL001-RL008)"
+        "lint", help="run the repo's static-analysis rules (RL001-RL009)"
     )
     p_lint.add_argument(
         "paths",
@@ -215,6 +229,118 @@ def _engine_context(args: argparse.Namespace):
     return using_engine(LoadEngine(name, jobs=jobs))
 
 
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per task before serial fallback (default 2)",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline enforced by the watchdog (default: none)",
+    )
+    group.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "inject deterministic worker faults seeded by SEED "
+            "(resilience drill; results must still be exact)"
+        ),
+    )
+    group.add_argument(
+        "--chaos-crash",
+        type=float,
+        default=0.2,
+        metavar="FRAC",
+        help="fraction of chaos tasks that crash their worker (default 0.2)",
+    )
+    group.add_argument(
+        "--chaos-hang",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of chaos tasks that hang past the deadline (default 0)",
+    )
+    group.add_argument(
+        "--chaos-slow",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of chaos tasks delayed but completing (default 0)",
+    )
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("checkpointing")
+    group.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal completed work units to this JSONL file",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint, skipping journaled work units",
+    )
+
+
+@contextlib.contextmanager
+def _exec_context(args: argparse.Namespace) -> Iterator[None]:
+    """Install an exec policy from resilience flags; report degradations.
+
+    Any executor run that absorbed faults (retries, timeouts, pool
+    rebuilds, serial fallbacks) prints its one-line summary to stderr on
+    exit, so degraded-but-correct runs remain visible.
+    """
+    import dataclasses
+
+    from repro.exec import (
+        ChaosPolicy,
+        clear_reports,
+        current_exec_policy,
+        recent_reports,
+        using_exec_policy,
+    )
+
+    updates: dict = {}
+    if getattr(args, "retries", None) is not None:
+        updates["retries"] = args.retries
+    if getattr(args, "task_timeout", None) is not None:
+        updates["task_timeout"] = args.task_timeout
+    if getattr(args, "chaos_seed", None) is not None:
+        updates["chaos"] = ChaosPolicy(
+            seed=args.chaos_seed,
+            crash_fraction=getattr(args, "chaos_crash", 0.2),
+            hang_fraction=getattr(args, "chaos_hang", 0.0),
+            slow_fraction=getattr(args, "chaos_slow", 0.0),
+        )
+        if "task_timeout" not in updates:
+            # hung chaos workers need a deadline to be reaped at all
+            updates["task_timeout"] = 5.0
+    policy = (
+        dataclasses.replace(current_exec_policy(), **updates)
+        if updates
+        else None
+    )
+    clear_reports()
+    try:
+        with using_exec_policy(policy):
+            yield
+    finally:
+        for report in recent_reports():
+            if report.degraded:
+                print(f"resilience: {report.summary()}", file=sys.stderr)
+
+
 # --------------------------------------------------------------- commands
 
 
@@ -237,7 +363,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.designer import design_placement
 
     design = design_placement(args.k, args.d, t=args.t, routing=args.routing)
-    with _engine_context(args):
+    with _engine_context(args), _exec_context(args):
         report = analyze(design.placement, design.routing)
     if getattr(args, "markdown", False):
         from repro.core.report_md import analysis_report_md
@@ -268,12 +394,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import render_results
 
     if args.only:
-        with _engine_context(args):
+        with _engine_context(args), _exec_context(args):
             result = get_experiment(args.only).run(quick=args.quick)
         print(result.render())
         return 0 if result.passed else 1
-    with _engine_context(args):
-        results = run_all(quick=args.quick)
+    with _engine_context(args), _exec_context(args):
+        results = run_all(
+            quick=args.quick,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
     text = render_results(results, quick=args.quick)
     print(text)
     if args.write:
@@ -351,7 +481,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.routing == "odr"
         else lambda d: UnorderedDimensionalRouting()
     )
-    with _engine_context(args):
+    with _engine_context(args), _exec_context(args):
         rows = scaling_rows(family, routing_factory, args.d, ks)
     table = Table(["k", "|P|", "E_max", "E_max/|P|"],
                   title=f"{args.family} + {args.routing.upper()} on d={args.d}")
@@ -377,10 +507,12 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     if upper is None and args.mode == "bound" and size == args.k ** (args.d - 1):
         upper = float(odr_edge_loads(linear_placement(torus)).max())
         print(f"incumbent seed  : linear placement E_max = {upper:g}")
-    result = exact_global_minimum(
-        torus, size, mode=args.mode, processes=args.jobs,
-        initial_upper_bound=upper,
-    )
+    with _exec_context(args):
+        result = exact_global_minimum(
+            torus, size, mode=args.mode, processes=args.jobs,
+            initial_upper_bound=upper,
+            checkpoint=args.checkpoint, resume=args.resume,
+        )
     counters = result.counters
     witness = sorted(map(tuple, result.example_optimal.coords().tolist()))
     print(f"certified space : all C({torus.num_nodes}, {size}) = "

@@ -18,7 +18,7 @@ __all__ = ["build_parser", "run", "main"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="repro's AST lint: paper-invariant rules RL001-RL007",
+        description="repro's AST lint: paper-invariant rules RL001-RL009",
     )
     parser.add_argument(
         "paths",

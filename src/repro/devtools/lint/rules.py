@@ -1,4 +1,4 @@
-"""The built-in rule set: repo-specific invariants RL001–RL008.
+"""The built-in rule set: repo-specific invariants RL001–RL009.
 
 Each rule generalizes a bug class this repository has actually hit (see
 ``docs/STATIC_ANALYSIS.md`` for the catalogue and the PR-1 incidents the
@@ -24,6 +24,7 @@ __all__ = [
     "UnusedImport",
     "MutableDefaultArgument",
     "FullLoadEvalInLoop",
+    "DirectPoolConstruction",
 ]
 
 #: identifier fragments that mark a value as a real-valued load figure —
@@ -612,4 +613,79 @@ class FullLoadEvalInLoop(Rule):
                     "(`odr_edge_loads_add_delta`/`_swap_delta`), or "
                     "suppress with `# repro: noqa(RL008)` if this site is "
                     "deliberately the brute-force oracle",
+                )
+
+
+@register
+class DirectPoolConstruction(Rule):
+    """RL009 — a process pool constructed outside ``repro.exec``.
+
+    Bare ``ProcessPoolExecutor``/``multiprocessing.Pool`` fan-out has no
+    retry budget, no deadline watchdog, no checkpoint journal, and no
+    serial fallback — exactly the failure modes the resilient execution
+    layer exists to absorb.  All pool call sites go through
+    :class:`repro.exec.ResilientExecutor`; the one legitimate raw
+    constructor (inside the executor itself) certifies with
+    ``# repro: noqa(RL009)``.  Tests are exempt — harness cross-checks
+    may drive bare pools on purpose.
+    """
+
+    code = "RL009"
+    summary = "direct process-pool construction outside repro/exec"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file:
+            return False
+        return not ctx.in_package("exec")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        pool_names: set[str] = set()  # names bound to a pool constructor
+        mp_aliases: set[str] = set()  # module aliases of multiprocessing
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "multiprocessing":
+                        mp_aliases.add(
+                            (alias.asname or alias.name).split(".")[0]
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if (
+                        alias.name == "ProcessPoolExecutor"
+                        and module.startswith("concurrent.futures")
+                    ):
+                        pool_names.add(bound)
+                    elif alias.name == "Pool" and module.startswith(
+                        "multiprocessing"
+                    ):
+                        pool_names.add(bound)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            flagged = None
+            if isinstance(func, ast.Name) and func.id in pool_names:
+                flagged = func.id
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "ProcessPoolExecutor":
+                    flagged = ctx.segment(func)
+                elif func.attr == "Pool":
+                    root = func.value
+                    while isinstance(root, ast.Attribute):
+                        root = root.value
+                    if (
+                        isinstance(root, ast.Name)
+                        and root.id in mp_aliases
+                    ):
+                        flagged = ctx.segment(func)
+            if flagged is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{flagged}` constructs a raw process pool — fan out "
+                    "through `repro.exec.ResilientExecutor` (retries, "
+                    "deadlines, checkpointing, serial fallback), or certify "
+                    "an exempt site with `# repro: noqa(RL009)`",
                 )

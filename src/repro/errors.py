@@ -18,6 +18,8 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "SearchError",
+    "ExecutionError",
+    "TaskTimeoutError",
 ]
 
 
@@ -91,4 +93,24 @@ class SearchError(ReproError):
     placement survives the pruning), or an orbit-size accounting mismatch
     against :math:`C(k^d, n)` — the latter indicates a bug and is checked
     defensively after every symmetry-reduced sweep.
+    """
+
+
+class ExecutionError(ReproError):
+    """The :mod:`repro.exec` resilience layer could not complete a workload.
+
+    Examples: a task that exhausted its retry budget with serial fallback
+    disabled, a checkpoint journal whose fingerprint does not match the
+    workload being resumed, or an executor misconfiguration (negative
+    retry budget, duplicate task ids).
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A single task exceeded its per-task deadline.
+
+    Raised (or recorded in the :class:`~repro.exec.ExecutionReport`) when a
+    worker fails to return within ``task_timeout`` seconds; the watchdog
+    tears the pool down, reschedules the survivors, and retries the
+    overdue task against its remaining budget.
     """

@@ -1,0 +1,144 @@
+"""Deterministic fault injection for the resilience layer.
+
+A :class:`ChaosPolicy` decides — purely from a seed, a task id, and an
+attempt number — whether a worker-side task execution should ``crash``
+(hard-kill its worker process), ``hang`` (sleep past any sane deadline),
+``slow`` (sleep briefly, then compute normally), or run clean.  The
+decision is a salted SHA-256 hash mapped to the unit interval, so:
+
+* the *same* seed reproduces the same fault schedule run after run — the
+  chaos suites in ``tests/`` are ordinary deterministic tests;
+* each retry *attempt* re-rolls independently, so a task crashed on its
+  first attempt usually survives its second, exactly like a transient
+  real-world fault;
+* the parent process can predict every injected fault without any
+  communication from the workers.
+
+Faults are injected only on the process-pool path — the serial fallback
+and the inline ``jobs=1`` paths never consult the policy — so a chaotic
+run must converge to the fault-free answer as long as the retry/fallback
+machinery works.  That contrapositive is what makes the resilience layer
+itself testable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ChaosPolicy", "CHAOS_FAULTS", "unit_hash"]
+
+#: every fault kind a policy can inject, in decision order.
+CHAOS_FAULTS = ("crash", "hang", "slow")
+
+#: exit code used by injected worker crashes (visible in pool diagnostics).
+_CRASH_EXIT_CODE = 73
+
+
+def unit_hash(*parts: object) -> float:
+    """Map ``parts`` deterministically to a float in ``[0, 1)``.
+
+    The same salted-hash primitive drives both chaos decisions and the
+    executor's backoff jitter, so a whole resilient run is a pure function
+    of its seeds.
+    """
+    digest = hashlib.sha256(
+        ":".join(str(part) for part in parts).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded schedule of worker faults for a resilient run.
+
+    Parameters
+    ----------
+    seed:
+        Root of the deterministic schedule; two runs with equal seeds
+        inject identical faults.
+    crash_fraction, hang_fraction, slow_fraction:
+        Expected fraction of (task, attempt) executions hit by each fault
+        kind; the three must sum to at most 1.
+    hang_seconds:
+        How long a hung task sleeps — choose it far above the executor's
+        ``task_timeout`` so the watchdog, not the sleep, ends the task.
+    slow_seconds:
+        Added latency for ``slow`` faults (the task still completes).
+    """
+
+    seed: int
+    crash_fraction: float = 0.0
+    hang_fraction: float = 0.0
+    slow_fraction: float = 0.0
+    hang_seconds: float = 3600.0
+    slow_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in ("crash_fraction", "hang_fraction", "slow_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be within [0, 1], got {value}"
+                )
+            total += value
+        if total > 1.0 + 1e-12:
+            raise InvalidParameterError(
+                f"fault fractions must sum to <= 1, got {total}"
+            )
+        if self.hang_seconds < 0 or self.slow_seconds < 0:
+            raise InvalidParameterError(
+                "hang_seconds and slow_seconds must be >= 0"
+            )
+
+    def decide(self, task_id: str, attempt: int) -> str | None:
+        """The fault injected for one task attempt (``None`` for a clean run).
+
+        Deterministic in ``(seed, task_id, attempt)``; attempts re-roll
+        independently so retries model transient faults.
+        """
+        u = unit_hash(self.seed, "chaos", task_id, attempt)
+        threshold = 0.0
+        for kind, fraction in zip(
+            CHAOS_FAULTS,
+            (self.crash_fraction, self.hang_fraction, self.slow_fraction),
+        ):
+            threshold += fraction
+            if u < threshold:
+                return kind
+        return None
+
+    def inject(self, task_id: str, attempt: int) -> None:
+        """Execute the scheduled fault inside a worker process.
+
+        ``crash`` hard-exits the interpreter (the parent sees a broken
+        pool), ``hang`` sleeps for :attr:`hang_seconds` (the parent's
+        deadline watchdog must intervene), ``slow`` sleeps briefly and
+        returns so the task still succeeds.
+        """
+        fault = self.decide(task_id, attempt)
+        if fault == "crash":
+            os._exit(_CRASH_EXIT_CODE)
+        elif fault == "hang":
+            time.sleep(self.hang_seconds)
+        elif fault == "slow":
+            time.sleep(self.slow_seconds)
+
+    def expected_faults(self, task_ids: list[str], attempt: int = 0) -> dict:
+        """Predicted fault kinds for ``task_ids`` at one attempt number.
+
+        Lets tests and the CLI report the injected schedule without
+        running anything: ``{task_id: kind}`` for the tasks that would be
+        hit.
+        """
+        out: dict[str, str] = {}
+        for task_id in task_ids:
+            fault = self.decide(task_id, attempt)
+            if fault is not None:
+                out[task_id] = fault
+        return out

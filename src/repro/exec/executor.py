@@ -1,0 +1,484 @@
+"""The resilient process-pool executor.
+
+:class:`ResilientExecutor` runs a list of idempotent, picklable tasks
+through a :class:`concurrent.futures.ProcessPoolExecutor` and absorbs the
+failure modes a bare pool propagates raw:
+
+* **worker crashes** (``BrokenProcessPool``) — the pool is torn down and
+  rebuilt, in-flight tasks are charged one attempt and rescheduled;
+* **hangs and stragglers** — a heartbeat watchdog enforces a per-task
+  deadline; overdue tasks are charged, innocent in-flight tasks are
+  rescheduled without charge, and the stuck workers are terminated;
+* **transient faults** — bounded retry with exponential backoff and
+  deterministic seeded jitter, so a rerun reproduces the exact schedule;
+* **persistent faults** — after the retry budget, a task degrades to
+  in-process serial execution (*graceful degradation*) instead of failing
+  an hours-long run; every downgrade is recorded in the
+  :class:`~repro.exec.report.ExecutionReport`.
+
+Tasks must be pure functions of their payloads (all call sites in this
+package shard commutative accumulations), so re-execution after a lost
+result is always safe.  A :class:`~repro.exec.journal.CheckpointJournal`
+makes the whole fan-out restartable across *process* deaths too: completed
+tasks are persisted as they finish and skipped on resume.
+
+Deterministic fault injection for testing these paths lives in
+:mod:`repro.exec.chaos`; it runs only inside pool workers, never on the
+serial fallback, so a chaotic run must converge to the fault-free answer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExecutionError
+from repro.exec.chaos import ChaosPolicy, unit_hash
+from repro.exec.journal import CheckpointJournal
+from repro.exec.policy import ExecPolicy, current_exec_policy
+from repro.exec.report import ExecutionReport, record_report
+
+__all__ = ["ExecTask", "ExecutionOutcome", "ResilientExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecTask:
+    """One unit of restartable work: a stable id plus a picklable payload."""
+
+    task_id: str
+    payload: Any
+
+
+@dataclass
+class ExecutionOutcome:
+    """Results keyed by task id, plus the run's structured report."""
+
+    results: dict[str, Any]
+    report: ExecutionReport
+
+    def in_task_order(self, tasks: Sequence[ExecTask]) -> list[Any]:
+        """Results ordered like ``tasks`` (deterministic merges)."""
+        return [self.results[task.task_id] for task in tasks]
+
+
+@dataclass
+class _TaskState:
+    """Parent-side mutable bookkeeping for one task."""
+
+    task: ExecTask
+    attempts: int = 0
+    not_before: float = 0.0
+    started: float = field(default=0.0)
+
+
+# ----------------------------------------------------------- worker shims
+#
+# The pool executes `_resilient_call`, which consults the chaos schedule
+# and then calls the user's worker function.  Both the user function and
+# any initializer are installed once per worker by `_resilient_init`, so
+# per-task pickles carry only (task_id, attempt, payload).
+
+_WORKER_STATE: tuple[Callable[[Any], Any], ChaosPolicy | None] | None = None
+
+
+def _resilient_init(
+    worker_fn: Callable[[Any], Any],
+    initializer: Callable[..., None] | None,
+    initargs: tuple[Any, ...],
+    chaos: ChaosPolicy | None,
+) -> None:
+    global _WORKER_STATE
+    if initializer is not None:
+        initializer(*initargs)
+    _WORKER_STATE = (worker_fn, chaos)
+
+
+def _resilient_call(packed: tuple[str, int, Any]) -> Any:
+    task_id, attempt, payload = packed
+    assert _WORKER_STATE is not None
+    worker_fn, chaos = _WORKER_STATE
+    if chaos is not None:
+        chaos.inject(task_id, attempt)
+    return worker_fn(payload)
+
+
+class ResilientExecutor:
+    """Fault-tolerant fan-out of idempotent tasks over a process pool.
+
+    Parameters
+    ----------
+    worker_fn:
+        Module-level function mapping one task payload to its result;
+        executed inside pool workers (and, for downgraded tasks, inline in
+        the parent after running ``initializer`` there).
+    jobs:
+        Worker processes (default: all cores).  ``jobs <= 1`` executes
+        the whole workload inline — no pool, no chaos.
+    initializer, initargs:
+        Optional per-worker setup (the classic pool-initializer pattern);
+        also invoked lazily in the parent before any serial fallback.
+    policy:
+        The :class:`~repro.exec.policy.ExecPolicy` governing retries,
+        deadlines, backoff, and chaos; defaults to the ambient policy
+        installed by :func:`~repro.exec.policy.using_exec_policy`.
+    journal:
+        Optional :class:`~repro.exec.journal.CheckpointJournal`; completed
+        tasks found in it are returned without re-execution and new
+        completions are appended as they land.
+    label:
+        Human-readable workload name used in reports and errors.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[Any], Any],
+        jobs: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+        policy: ExecPolicy | None = None,
+        journal: CheckpointJournal | None = None,
+        label: str = "exec",
+    ):
+        if jobs is not None and jobs < 1:
+            raise ExecutionError(f"jobs must be >= 1, got {jobs}")
+        self.worker_fn = worker_fn
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.initializer = initializer
+        self.initargs = initargs
+        self.policy = policy if policy is not None else current_exec_policy()
+        self.journal = journal
+        self.label = label
+        self._pool: ProcessPoolExecutor | None = None
+        self._parent_initialized = False
+
+    # ------------------------------------------------------------ schedule
+
+    def backoff_delay(self, task_id: str, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based) of a task.
+
+        Exponential in the attempt number, capped, and scaled by a
+        deterministic jitter in ``[0.5, 1.0)`` derived from
+        ``(policy.seed, task_id, attempt)`` — the schedule is a pure
+        function of the policy, so reruns are reproducible.
+        """
+        policy = self.policy
+        raw = min(
+            policy.backoff_max,
+            policy.backoff_base * policy.backoff_factor ** (attempt - 1),
+        )
+        jitter = 0.5 + 0.5 * unit_hash(policy.seed, "backoff", task_id, attempt)
+        return raw * jitter
+
+    def backoff_schedule(self, task_id: str) -> tuple[float, ...]:
+        """The full retry-delay schedule one task would follow."""
+        return tuple(
+            self.backoff_delay(task_id, attempt)
+            for attempt in range(1, self.policy.retries + 1)
+        )
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, tasks: Sequence[ExecTask]) -> ExecutionOutcome:
+        """Execute every task; return all results plus the report.
+
+        Raises
+        ------
+        ExecutionError
+            If a task exhausts its retry budget while serial fallback is
+            disabled, or the workload is malformed (duplicate ids).
+        Exception
+            Any exception raised by ``worker_fn`` itself propagates
+            unchanged — deterministic task errors are not retried (a
+            wrong answer does not become right by repetition).
+        """
+        report = ExecutionReport(label=self.label, tasks=len(tasks))
+        start = time.monotonic()
+        results: dict[str, Any] = {}
+        seen: set[str] = set()
+        for task in tasks:
+            if task.task_id in seen:
+                raise ExecutionError(
+                    f"{self.label}: duplicate task id {task.task_id!r}"
+                )
+            seen.add(task.task_id)
+
+        if self.journal is not None:
+            for task in tasks:
+                if task.task_id in self.journal:
+                    results[task.task_id] = self.journal.completed[
+                        task.task_id
+                    ]
+                    report.resumed += 1
+                    report.add_event(
+                        "resume", task.task_id, 0, "restored from checkpoint"
+                    )
+
+        todo = [
+            _TaskState(task) for task in tasks if task.task_id not in results
+        ]
+        try:
+            if todo:
+                if self.jobs <= 1:
+                    for state in todo:
+                        self._run_inline(state, results, report)
+                else:
+                    self._run_pool(todo, results, report)
+        finally:
+            self._shutdown_pool()
+            report.elapsed_seconds = time.monotonic() - start
+            record_report(report)
+        return ExecutionOutcome(results=results, report=report)
+
+    # ------------------------------------------------------------ pool loop
+
+    def _run_pool(
+        self,
+        todo: list[_TaskState],
+        results: dict[str, Any],
+        report: ExecutionReport,
+    ) -> None:
+        policy = self.policy
+        pending: list[_TaskState] = list(todo)
+        inflight: dict[Future[Any], _TaskState] = {}
+        total = len(todo)
+        completed = 0
+
+        while completed < total:
+            now = time.monotonic()
+
+            # 1. tasks past their retry budget degrade to the serial path.
+            exhausted = [
+                state for state in pending if state.attempts > policy.retries
+            ]
+            for state in exhausted:
+                pending.remove(state)
+                if not policy.fallback_serial:
+                    raise ExecutionError(
+                        f"{self.label}: task {state.task.task_id!r} failed "
+                        f"{state.attempts} attempts (retries={policy.retries}) "
+                        "and serial fallback is disabled"
+                    )
+                report.fallbacks += 1
+                report.add_event(
+                    "fallback",
+                    state.task.task_id,
+                    state.attempts,
+                    "retry budget exhausted; degrading to in-process serial "
+                    "execution",
+                )
+                self._run_inline(state, results, report)
+                completed += 1
+
+            # 2. submit every task whose backoff delay has elapsed.
+            ready = [state for state in pending if state.not_before <= now]
+            for state in ready:
+                pending.remove(state)
+                if state.attempts > 0:
+                    report.retries += 1
+                    report.add_event(
+                        "retry",
+                        state.task.task_id,
+                        state.attempts,
+                        f"resubmitting after "
+                        f"{self.backoff_delay(state.task.task_id, state.attempts):.3f}s backoff",
+                    )
+                report.attempts += 1
+                try:
+                    future = self._ensure_pool().submit(
+                        _resilient_call,
+                        (state.task.task_id, state.attempts, state.task.payload),
+                    )
+                except BrokenExecutor:
+                    # the pool died between waits; charge nobody, rebuild.
+                    self._note_broken_pool(report, "pool broke at submit")
+                    self._abandon_pool(report)
+                    pending.append(state)
+                    pending.extend(inflight.values())
+                    inflight.clear()
+                    break
+                state.started = time.monotonic()
+                inflight[future] = state
+
+            if not inflight:
+                if pending:
+                    wake = min(state.not_before for state in pending)
+                    delay = min(
+                        max(wake - time.monotonic(), 0.0), policy.heartbeat
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                continue
+
+            # 3. collect completions (bounded wait = watchdog heartbeat).
+            done, _ = wait(
+                set(inflight),
+                timeout=policy.heartbeat,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            for future in done:
+                state = inflight.pop(future)
+                error = future.exception()
+                if error is None:
+                    self._complete(state, future.result(), results, report)
+                    completed += 1
+                elif isinstance(error, BrokenExecutor):
+                    broken = True
+                    self._charge(
+                        state,
+                        pending,
+                        report,
+                        f"worker crashed ({type(error).__name__})",
+                    )
+                else:
+                    # deterministic task failure: propagate unchanged.
+                    raise error
+            if broken:
+                self._note_broken_pool(
+                    report, "worker process died; rescheduling in-flight tasks"
+                )
+                for state in inflight.values():
+                    self._charge(state, pending, report, "pool broke mid-task")
+                inflight.clear()
+                self._abandon_pool(report)
+                continue
+
+            # 4. watchdog: enforce the per-task deadline.
+            if policy.task_timeout is not None and inflight:
+                now = time.monotonic()
+                overdue = [
+                    (future, state)
+                    for future, state in inflight.items()
+                    if now - state.started > policy.task_timeout
+                ]
+                if overdue:
+                    for _future, state in overdue:
+                        report.timeouts += 1
+                        report.add_event(
+                            "timeout",
+                            state.task.task_id,
+                            state.attempts,
+                            f"TaskTimeoutError: exceeded the "
+                            f"{policy.task_timeout:g}s deadline",
+                        )
+                        self._charge(state, pending, report, "deadline")
+                    overdue_ids = {id(state) for _f, state in overdue}
+                    for state in inflight.values():
+                        if id(state) not in overdue_ids:
+                            # innocent victims of the pool teardown: requeue
+                            # immediately, no attempt charged.
+                            state.not_before = 0.0
+                            pending.append(state)
+                    inflight.clear()
+                    self._abandon_pool(report)
+
+    # -------------------------------------------------------------- helpers
+
+    def _charge(
+        self,
+        state: _TaskState,
+        pending: list[_TaskState],
+        report: ExecutionReport,
+        reason: str,
+    ) -> None:
+        """Charge one failed attempt and schedule the retry (with backoff)."""
+        state.attempts += 1
+        if state.attempts <= self.policy.retries:
+            delay = self.backoff_delay(state.task.task_id, state.attempts)
+        else:
+            delay = 0.0  # heading to fallback; no point waiting
+        state.not_before = time.monotonic() + delay
+        pending.append(state)
+        report.add_event(
+            "attempt-failed", state.task.task_id, state.attempts, reason
+        )
+
+    def _note_broken_pool(self, report: ExecutionReport, detail: str) -> None:
+        report.broken_pools += 1
+        report.add_event("broken-pool", None, 0, detail)
+
+    def _complete(
+        self,
+        state: _TaskState,
+        value: Any,
+        results: dict[str, Any],
+        report: ExecutionReport,
+    ) -> None:
+        task_id = state.task.task_id
+        if task_id in results:  # pragma: no cover - lost-future double run
+            return
+        results[task_id] = value
+        report.completed += 1
+        if self.journal is not None:
+            self.journal.record(task_id, value)
+
+    def _run_inline(
+        self,
+        state: _TaskState,
+        results: dict[str, Any],
+        report: ExecutionReport,
+    ) -> None:
+        """Execute one task in-process (serial path / graceful degradation)."""
+        if self.initializer is not None and not self._parent_initialized:
+            self.initializer(*self.initargs)
+            self._parent_initialized = True
+        value = self.worker_fn(state.task.payload)
+        self._complete(state, value, results, report)
+
+    # ------------------------------------------------------ pool lifecycle
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(  # repro: noqa(RL009) - the facade itself
+                max_workers=self.jobs,
+                initializer=_resilient_init,
+                initargs=(
+                    self.worker_fn,
+                    self.initializer,
+                    self.initargs,
+                    self.policy.chaos,
+                ),
+            )
+        return self._pool
+
+    def _abandon_pool(self, report: ExecutionReport) -> None:
+        """Tear down a broken/stuck pool; the next submit rebuilds it."""
+        if self._pool is None:
+            return
+        self._kill_pool()
+        report.pool_rebuilds += 1
+        report.add_event("rebuild", None, 0, "process pool torn down")
+
+    def _kill_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # ProcessPoolExecutor has no public "terminate workers" API, and a
+        # hung worker would block shutdown(wait=True) forever — terminate
+        # the worker processes directly, then release the pool's plumbing.
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join(timeout=5.0)
+
+    def _shutdown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientExecutor(label={self.label!r}, jobs={self.jobs}, "
+            f"retries={self.policy.retries})"
+        )

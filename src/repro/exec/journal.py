@@ -1,0 +1,185 @@
+"""Checkpoint/resume journal: restartable fan-out for long runs.
+
+A :class:`CheckpointJournal` is an append-only JSONL file.  Line one is a
+header carrying a *fingerprint* of the workload (torus shape, search
+mode, chunk geometry — whatever makes two runs comparable); every
+subsequent line records one completed task id and its encoded partial
+result.  Crash-safety comes from the format, not from fsync heroics: a
+process killed mid-write leaves at most one truncated final line, which
+:meth:`load` detects and drops — the corresponding task simply re-runs on
+resume.
+
+Results are arbitrary Python values; call sites supply ``encode``/
+``decode`` hooks mapping them to and from JSON-compatible structures
+(numpy arrays to lists, float-keyed histograms to pair lists, …).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, TextIO
+
+from repro.errors import ExecutionError
+
+__all__ = ["CheckpointJournal", "JOURNAL_VERSION"]
+
+#: bump when the line format changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+class CheckpointJournal:
+    """Append-only JSONL record of completed tasks and their results.
+
+    Parameters
+    ----------
+    path:
+        Journal file location; parent directories are created.
+    fingerprint:
+        JSON-compatible description of the workload.  On ``resume`` the
+        stored header must match exactly — resuming a journal written for
+        a different workload raises
+        :class:`~repro.errors.ExecutionError` instead of silently merging
+        incompatible partials.
+    resume:
+        ``False`` (default) truncates any existing file and starts a
+        fresh journal; ``True`` loads completed tasks from an existing
+        file and appends to it.  Resuming a missing file raises.
+    encode, decode:
+        Result ↔ JSON-value hooks (identity by default).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        fingerprint: dict[str, Any],
+        resume: bool = False,
+        encode: Callable[[Any], Any] | None = None,
+        decode: Callable[[Any], Any] | None = None,
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._encode = encode if encode is not None else (lambda value: value)
+        self._decode = decode if decode is not None else (lambda value: value)
+        self._completed: dict[str, Any] = {}
+        self._handle: TextIO | None = None
+        if resume:
+            self._load()
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._write_line(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    # ------------------------------------------------------------- loading
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            raise ExecutionError(
+                f"cannot resume: checkpoint journal {self.path} does not "
+                "exist (run once with --checkpoint first)"
+            )
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise ExecutionError(
+                f"cannot resume: checkpoint journal {self.path} is empty"
+            )
+        header = self._parse_line(lines[0])
+        if header is None or header.get("kind") != "header":
+            raise ExecutionError(
+                f"cannot resume: {self.path} does not start with a journal "
+                "header"
+            )
+        if header.get("version") != JOURNAL_VERSION:
+            raise ExecutionError(
+                f"cannot resume: journal version {header.get('version')!r} "
+                f"!= supported version {JOURNAL_VERSION}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ExecutionError(
+                "cannot resume: journal fingerprint "
+                f"{header.get('fingerprint')!r} does not match this "
+                f"workload {self.fingerprint!r} — the checkpoint belongs "
+                "to a different run configuration"
+            )
+        for lineno, line in enumerate(lines[1:], start=2):
+            record = self._parse_line(line)
+            if record is None:
+                # a truncated final line is the expected kill artifact;
+                # a corrupt *interior* line means the file was tampered with.
+                if lineno != len(lines):
+                    raise ExecutionError(
+                        f"cannot resume: {self.path}:{lineno} is corrupt "
+                        "mid-file"
+                    )
+                continue
+            if record.get("kind") != "task" or "id" not in record:
+                continue
+            self._completed[str(record["id"])] = self._decode(
+                record.get("result")
+            )
+
+    @staticmethod
+    def _parse_line(line: str) -> dict[str, Any] | None:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    # ------------------------------------------------------------- writing
+
+    def _write_line(self, record: dict[str, Any]) -> None:
+        if self._handle is None:  # pragma: no cover - guarded by callers
+            raise ExecutionError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def record(self, task_id: str, result: Any) -> None:
+        """Persist one completed task (idempotent per id)."""
+        if task_id in self._completed:
+            return
+        self._completed[task_id] = result
+        self._write_line(
+            {"kind": "task", "id": task_id, "result": self._encode(result)}
+        )
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def completed(self) -> dict[str, Any]:
+        """Decoded results of every journaled task (a live view)."""
+        return self._completed
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Flush and close the underlying file (safe to call twice)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointJournal(path={str(self.path)!r}, "
+            f"completed={len(self._completed)})"
+        )

@@ -1,0 +1,177 @@
+"""Structured accounting of one resilient execution.
+
+Every :meth:`~repro.exec.executor.ResilientExecutor.run` produces an
+:class:`ExecutionReport`: counters for the happy path (tasks completed,
+resumed from a checkpoint) and a typed event log for everything that went
+wrong and how it was absorbed (retries, timeouts, pool rebuilds, serial
+downgrades).  Reports from recent runs are kept in a small in-process
+ring so the CLI can surface degradations after the fact without threading
+report objects through every return value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ExecutionEvent",
+    "ExecutionReport",
+    "record_report",
+    "recent_reports",
+    "clear_reports",
+]
+
+#: how many reports the in-process ring retains.
+_RING_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """One noteworthy incident during a resilient run.
+
+    ``kind`` is one of ``"resume"``, ``"retry"``, ``"timeout"``,
+    ``"broken-pool"``, ``"rebuild"``, ``"fallback"``; ``task_id`` is
+    ``None`` for pool-wide events.
+    """
+
+    kind: str
+    task_id: str | None
+    attempt: int
+    detail: str
+
+    def render(self) -> str:
+        """Canonical one-line text form."""
+        where = self.task_id if self.task_id is not None else "<pool>"
+        return f"[{self.kind}] {where} (attempt {self.attempt}): {self.detail}"
+
+
+@dataclass
+class ExecutionReport:
+    """What one resilient fan-out did, and what it survived.
+
+    Attributes
+    ----------
+    label:
+        The executor's human-readable workload name.
+    tasks:
+        Total tasks in the workload (including resumed ones).
+    completed:
+        Tasks whose results were produced this run (pool or fallback).
+    resumed:
+        Tasks satisfied from the checkpoint journal without re-execution.
+    attempts:
+        Pool-side execution attempts actually charged.
+    retries:
+        Attempts beyond each task's first (``attempts - first tries``).
+    timeouts:
+        Deadline expirations observed by the watchdog.
+    broken_pools:
+        ``BrokenProcessPool`` incidents absorbed.
+    pool_rebuilds:
+        Times the process pool was torn down and rebuilt.
+    fallbacks:
+        Tasks downgraded to in-process serial execution after exhausting
+        their retry budget.
+    events:
+        The ordered incident log (see :class:`ExecutionEvent`).
+    started_at, elapsed_seconds:
+        Wall-clock bookkeeping.
+    """
+
+    label: str = "exec"
+    tasks: int = 0
+    completed: int = 0
+    resumed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    broken_pools: int = 0
+    pool_rebuilds: int = 0
+    fallbacks: int = 0
+    events: list[ExecutionEvent] = field(default_factory=list)
+    started_at: float = field(default_factory=time.time)
+    elapsed_seconds: float = 0.0
+
+    def add_event(
+        self, kind: str, task_id: str | None, attempt: int, detail: str
+    ) -> None:
+        """Append one incident to the log."""
+        self.events.append(ExecutionEvent(kind, task_id, attempt, detail))
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything non-ideal happened (retry, timeout, fallback)."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.broken_pools
+            or self.fallbacks
+        )
+
+    @property
+    def downgraded_task_ids(self) -> tuple[str, ...]:
+        """Tasks that ended up on the serial fallback path, in order."""
+        return tuple(
+            event.task_id
+            for event in self.events
+            if event.kind == "fallback" and event.task_id is not None
+        )
+
+    def summary(self) -> str:
+        """One line suitable for CLI/warning output."""
+        parts = [
+            f"{self.label}: {self.completed}/{self.tasks} tasks",
+        ]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.broken_pools:
+            parts.append(f"{self.broken_pools} pool breaks")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} rebuilds")
+        if self.fallbacks:
+            parts.append(f"{self.fallbacks} serial fallbacks")
+        parts.append(f"{self.elapsed_seconds:.2f}s")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (events rendered as text lines)."""
+        return {
+            "label": self.label,
+            "tasks": self.tasks,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "broken_pools": self.broken_pools,
+            "pool_rebuilds": self.pool_rebuilds,
+            "fallbacks": self.fallbacks,
+            "elapsed_seconds": self.elapsed_seconds,
+            "events": [event.render() for event in self.events],
+        }
+
+
+_RECENT: list[ExecutionReport] = []
+
+
+def record_report(report: ExecutionReport) -> None:
+    """Push a finished report onto the in-process ring."""
+    _RECENT.append(report)
+    if len(_RECENT) > _RING_CAPACITY:
+        del _RECENT[: len(_RECENT) - _RING_CAPACITY]
+
+
+def recent_reports() -> tuple[ExecutionReport, ...]:
+    """Reports from recent runs, oldest first."""
+    return tuple(_RECENT)
+
+
+def clear_reports() -> None:
+    """Empty the ring (used by tests and long-lived drivers)."""
+    _RECENT.clear()

@@ -5,27 +5,135 @@ The suite's load computations all flow through
 process-wide default :class:`~repro.load.engine.LoadEngine`; passing
 ``engine=`` here pins a specific backend (e.g. ``"parallel"``) for the
 duration of the run.
+
+The runner is partial-failure tolerant: an experiment that *raises* is
+recorded as a failed :class:`~repro.experiments.base.ExperimentResult`
+carrying the exception and traceback, and the sweep continues — one
+broken experiment no longer hides every other result.  With a
+``checkpoint`` journal the sweep is also restartable: completed
+experiments are persisted as they finish and skipped on ``resume``.
 """
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, experiment_ids, get_experiment
+import traceback
+from typing import Any
+
+from repro.errors import InvalidParameterError
+from repro.exec import CheckpointJournal
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    experiment_ids,
+    get_experiment,
+)
 from repro.load.engine import using_engine
 
 __all__ = ["run_all", "render_results", "render_all"]
 
+#: traceback lines kept in a crashed experiment's findings.
+_TRACEBACK_TAIL = 12
 
-def run_all(quick: bool = False, engine=None) -> dict[str, ExperimentResult]:
+
+class _PreRenderedTable:
+    """A journal-restored table: renders the stored text verbatim."""
+
+    def __init__(self, text: str):
+        self._text = text
+
+    def render(self) -> str:
+        """The table text exactly as originally rendered."""
+        return self._text
+
+
+def _crashed_result(exp: Experiment, err: BaseException) -> ExperimentResult:
+    """A failed result recording an experiment that raised."""
+    result = ExperimentResult(
+        experiment_id=exp.experiment_id, title=exp.title, passed=False
+    )
+    result.check(
+        False,
+        f"experiment raised {type(err).__name__}: {err}",
+    )
+    tail = traceback.format_exception(type(err), err, err.__traceback__)
+    lines = "".join(tail).strip().splitlines()[-_TRACEBACK_TAIL:]
+    for line in lines:
+        result.note(f"traceback: {line.rstrip()}")
+    return result
+
+
+def _encode_result(result: ExperimentResult) -> dict[str, Any]:
+    """Journal form of one result (tables stored pre-rendered)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "passed": bool(result.passed),
+        "findings": list(result.findings),
+        "tables": [table.render() for table in result.tables],
+    }
+
+
+def _decode_result(data: dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`_encode_result`."""
+    result = ExperimentResult(
+        experiment_id=str(data["experiment_id"]),
+        title=str(data["title"]),
+        passed=bool(data["passed"]),
+    )
+    result.findings = [str(finding) for finding in data["findings"]]
+    result.tables = [_PreRenderedTable(str(text)) for text in data["tables"]]
+    return result
+
+
+def run_all(
+    quick: bool = False,
+    engine=None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> dict[str, ExperimentResult]:
     """Execute every registered experiment; returns ``{id: result}``.
 
     ``engine`` is a :class:`~repro.load.engine.LoadEngine`, a backend
     name, or ``None`` to keep the current default engine.
+
+    An experiment that raises is recorded as a failed result (exception
+    plus traceback tail in its findings) and the sweep continues.
+    ``checkpoint`` journals each completed experiment to a JSONL file;
+    ``resume`` restores journaled results instead of re-running them (the
+    journal's ``quick`` flag must match).
     """
-    with using_engine(engine):
-        return {
-            exp_id: get_experiment(exp_id).run(quick=quick)
-            for exp_id in experiment_ids()
-        }
+    if resume and checkpoint is None:
+        raise InvalidParameterError("resume=True requires a checkpoint path")
+    journal = (
+        CheckpointJournal(
+            checkpoint,
+            fingerprint={"workload": "experiments", "quick": bool(quick)},
+            resume=resume,
+            encode=_encode_result,
+            decode=_decode_result,
+        )
+        if checkpoint is not None
+        else None
+    )
+    results: dict[str, ExperimentResult] = {}
+    try:
+        with using_engine(engine):
+            for exp_id in experiment_ids():
+                if journal is not None and exp_id in journal:
+                    results[exp_id] = journal.completed[exp_id]
+                    continue
+                exp = get_experiment(exp_id)
+                try:
+                    result = exp.run(quick=quick)
+                except Exception as err:
+                    result = _crashed_result(exp, err)
+                results[exp_id] = result
+                if journal is not None:
+                    journal.record(exp_id, result)
+    finally:
+        if journal is not None:
+            journal.close()
+    return results
 
 
 def render_results(

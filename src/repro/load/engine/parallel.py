@@ -12,16 +12,23 @@ Each worker holds one :class:`~repro.load.engine.displacement.DisplacementPathCa
 for translation-invariant routings, so the per-shard work is the
 vectorized template translation, not a path walk; routings without the
 invariance fall back to per-pair path enumeration inside the worker.
+
+The fan-out itself runs through :class:`repro.exec.ResilientExecutor`
+rather than a bare pool: worker crashes rebuild the pool and retry the
+lost shards, hung shards are killed by the deadline watchdog, and shards
+that exhaust their retry budget are recomputed serially in-process — a
+chaotic run converges to the same loads as a fault-free one because every
+shard is an idempotent pure function of its pair indices.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from repro.errors import LoadError
+from repro.errors import ExecutionError, LoadError
+from repro.exec import ExecTask, ResilientExecutor
 from repro.load.engine.base import LoadBackend, validate_pair_weights
 from repro.load.engine.displacement import (
     DisplacementPathCache,
@@ -148,13 +155,29 @@ def parallel_edge_loads(
         return loads
 
     shards = list(zip(np.array_split(pi, n_shards), np.array_split(qi, n_shards)))
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, n_shards),
+    workers = min(jobs, n_shards)
+    tasks = [
+        ExecTask(f"shard-{index:05d}", shard)
+        for index, shard in enumerate(shards)
+    ]
+    executor = ResilientExecutor(
+        _compute_shard,
+        jobs=workers,
         initializer=_init_worker,
         initargs=(torus.k, torus.d, coords, routing, pair_weights),
-    ) as pool:
-        for partial in pool.map(_compute_shard, shards):
-            loads += partial
+        label=f"parallel-loads[{placement.name}@T_{torus.k}^{torus.d}]",
+    )
+    try:
+        outcome = executor.run(tasks)
+    except ExecutionError as err:
+        raise LoadError(
+            f"parallel load backend failed: {err} (backend 'parallel', "
+            f"{n_shards} shards, {workers} workers)"
+        ) from err
+    # merge in shard order so the floating-point addition order — and
+    # therefore the result bits — never depend on completion order.
+    for partial in outcome.in_task_order(tasks):
+        loads += partial
     return loads
 
 

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Any
 
-from repro.errors import InvalidParameterError
+from repro.errors import ExecutionError, InvalidParameterError, SearchError
+from repro.exec import CheckpointJournal, ExecTask, ResilientExecutor
 from repro.load.odr_loads import odr_edge_loads
 from repro.placements.base import Placement
 from repro.torus.topology import Torus
+from repro.util.itertools_ext import combinations_from
 
 __all__ = ["CatalogResult", "enumerate_placements", "global_minimum_emax"]
 
@@ -86,8 +89,60 @@ def _evaluate_chunk(args) -> tuple[float, tuple[int, ...], int, dict[float, int]
     return best, best_ids, num_optimal, histogram
 
 
+# ----------------------------------------------------- restartable sharding
+#
+# Workers receive (start_combination, count) spans, not the combinations
+# themselves: `combinations_from` regenerates the slice in-place, so a
+# span is a few bytes over the pipe, idempotent to re-run after a worker
+# crash, and small enough to journal for checkpoint/resume.
+
+_SPAN_SHAPE: tuple[int, int] | None = None
+
+
+def _init_span_worker(k: int, d: int) -> None:
+    global _SPAN_SHAPE
+    _SPAN_SHAPE = (k, d)
+
+
+def _evaluate_span(payload) -> tuple:
+    start, span_count = payload
+    assert _SPAN_SHAPE is not None
+    k, d = _SPAN_SHAPE
+    combos = itertools.islice(
+        combinations_from(k**d, tuple(start)), span_count
+    )
+    return _evaluate_chunk((k, d, combos))
+
+
+def _encode_catalog_partial(partial: tuple) -> dict[str, Any]:
+    best, best_ids, num_optimal, histogram = partial
+    return {
+        "best": best,
+        "best_ids": None if best_ids is None else [int(x) for x in best_ids],
+        "num_optimal": int(num_optimal),
+        "histogram": [
+            [float(value), int(count)]
+            for value, count in sorted(histogram.items())
+        ],
+    }
+
+
+def _decode_catalog_partial(data: dict) -> tuple:
+    best_ids = data["best_ids"]
+    return (
+        data["best"],
+        None if best_ids is None else tuple(int(x) for x in best_ids),
+        int(data["num_optimal"]),
+        {float(value): int(count) for value, count in data["histogram"]},
+    )
+
+
 def global_minimum_emax(
-    torus: Torus, size: int, processes: int | None = None
+    torus: Torus,
+    size: int,
+    processes: int | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> CatalogResult:
     """Exhaustively find the minimum ODR :math:`E_{max}` over all placements.
 
@@ -96,14 +151,25 @@ def global_minimum_emax(
     torus, size:
         The search space: all ``C(k^d, size)`` placements.
     processes:
-        ``None`` (default) evaluates serially; an integer > 1 fans the
-        sweep out over a :mod:`multiprocessing` pool (each worker gets a
-        contiguous chunk of the combination stream).
+        ``None`` (default) evaluates serially; an integer > 1 fans
+        contiguous spans of the combination stream out over a process
+        pool via :class:`repro.exec.ResilientExecutor` (crashed or hung
+        spans are retried, then degraded to in-process evaluation).
+    checkpoint:
+        Optional :class:`repro.exec.CheckpointJournal` path; completed
+        spans are persisted as they finish (forces span decomposition
+        even for a serial sweep).
+    resume:
+        Resume from an existing ``checkpoint``: journaled spans are
+        merged from their stored partials without re-evaluating.
 
     Raises
     ------
     InvalidParameterError
-        If the candidate count exceeds :data:`MAX_CATALOG`.
+        If the candidate count exceeds :data:`MAX_CATALOG`, or ``resume``
+        is requested without a ``checkpoint``.
+    SearchError
+        If the resilient fan-out itself fails beyond recovery.
     """
     import math
 
@@ -113,29 +179,67 @@ def global_minimum_emax(
             f"C({torus.num_nodes}, {size}) = {count} placements exceeds the "
             f"exhaustive limit {MAX_CATALOG}"
         )
-    all_ids = itertools.combinations(range(torus.num_nodes), size)
-
-    if processes is None or processes <= 1:
-        # the combination stream is consumed lazily — never materialized
-        partials = iter([_evaluate_chunk((torus.k, torus.d, all_ids))])
-    else:
-        import multiprocessing as mp
-
-        chunk_size = max(1, count // (processes * 4))
-        # a generator of chunk args: only ~one chunk per in-flight worker
-        # task is ever resident, instead of the whole candidate stream
-        chunk_args = (
-            (torus.k, torus.d, chunk)
-            for chunk in iter(
-                lambda: list(itertools.islice(all_ids, chunk_size)), []
-            )
+    if resume and checkpoint is None:
+        raise InvalidParameterError("resume=True requires a checkpoint path")
+    if not 1 <= size <= torus.num_nodes:
+        raise InvalidParameterError(
+            f"size must satisfy 1 <= size <= {torus.num_nodes}, got {size}"
         )
-        pool = mp.Pool(processes)
+
+    serial = processes is None or processes <= 1
+    if serial and checkpoint is None:
+        # the combination stream is consumed lazily — never materialized
+        all_ids = itertools.combinations(range(torus.num_nodes), size)
+        partials = [_evaluate_chunk((torus.k, torus.d, all_ids))]
+    else:
+        workers = 1 if serial else int(processes)  # type: ignore[arg-type]
+        chunk_size = max(1, count // max(16, workers * 4))
+        spans: list[tuple[tuple[int, ...], int]] = []
+        stream = itertools.combinations(range(torus.num_nodes), size)
+        while True:
+            # only one block is ever resident; spans keep just (start, len)
+            block = list(itertools.islice(stream, chunk_size))
+            if not block:
+                break
+            spans.append((block[0], len(block)))
+        tasks = [
+            ExecTask(f"span-{index:05d}", span)
+            for index, span in enumerate(spans)
+        ]
+        journal = None
+        if checkpoint is not None:
+            journal = CheckpointJournal(
+                checkpoint,
+                fingerprint={
+                    "workload": "catalog",
+                    "k": torus.k,
+                    "d": torus.d,
+                    "size": size,
+                    "chunk_size": chunk_size,
+                },
+                resume=resume,
+                encode=_encode_catalog_partial,
+                decode=_decode_catalog_partial,
+            )
+        executor = ResilientExecutor(
+            _evaluate_span,
+            jobs=workers,
+            initializer=_init_span_worker,
+            initargs=(torus.k, torus.d),
+            journal=journal,
+            label=f"catalog[T_{torus.k}^{torus.d} n={size}]",
+        )
         try:
-            partials = list(pool.imap_unordered(_evaluate_chunk, chunk_args))
+            outcome = executor.run(tasks)
+        except ExecutionError as err:
+            raise SearchError(
+                f"catalog sweep fan-out failed: {err} (backend 'catalog', "
+                f"{len(spans)} spans, {workers} workers)"
+            ) from err
         finally:
-            pool.close()
-            pool.join()
+            if journal is not None:
+                journal.close()
+        partials = outcome.in_task_order(tasks)
 
     best: float | None = None
     best_ids: tuple[int, ...] | None = None

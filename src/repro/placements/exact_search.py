@@ -48,22 +48,29 @@ the incumbent is pruned — exact for the minimum and ``num_optimal``
 (achievers are never pruned), while the full histogram is only produced
 in ``full`` mode, which disables pruning.
 
-Subtree roots can be sharded over a process pool
-(:class:`concurrent.futures.ProcessPoolExecutor` with per-worker group
+Subtree roots can be sharded over a process pool (per-worker group
 tables, the :mod:`repro.load.engine.parallel` pattern); per-worker
 incumbents keep the search exact without cross-process communication.
+The fan-out runs through :class:`repro.exec.ResilientExecutor`, so worker
+crashes and hangs are retried (and, past the retry budget, recomputed
+serially in-process), and a :class:`repro.exec.CheckpointJournal` of
+completed subtree roots makes multi-hour certifications restartable:
+``repro certify --checkpoint run.jsonl`` followed by ``--resume`` skips
+every journaled root and merges its stored partial accumulators instead
+of re-searching the subtree.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.bisection.separator import separator_size
-from repro.errors import InvalidParameterError, SearchError
+from repro.errors import ExecutionError, InvalidParameterError, SearchError
+from repro.exec import CheckpointJournal, ExecTask, ResilientExecutor
 from repro.load.formulas import separator_lower_bound
 from repro.load.odr_loads import odr_edge_loads_add_delta
 from repro.placements.base import Placement
@@ -399,7 +406,46 @@ def _init_worker(
 
 def _run_subtree(root: tuple[int, ...]) -> dict:
     assert _WORKER_CTX is not None
-    return _WORKER_CTX.run_root(root)
+    return _WORKER_CTX.run_root(tuple(root))
+
+
+# ------------------------------------------------------------ checkpointing
+
+
+def _root_task_id(root: tuple[int, ...]) -> str:
+    """Stable journal id of one canonical subtree root."""
+    return "root-" + ".".join(str(int(node)) for node in root)
+
+
+def _encode_partial(partial: dict) -> dict[str, Any]:
+    """Per-root partial accumulators → JSON-compatible journal record."""
+    ids = partial["best_image_ids"]
+    return {
+        "best_value": partial["best_value"],
+        "best_image_ids": None if ids is None else [int(x) for x in ids],
+        "histogram": [
+            [float(value), int(count)]
+            for value, count in sorted(partial["histogram"].items())
+        ],
+        "orbit_total": int(partial["orbit_total"]),
+        "counters": {key: int(val) for key, val in partial["counters"].items()},
+    }
+
+
+def _decode_partial(data: dict) -> dict:
+    """Inverse of :func:`_encode_partial`."""
+    ids = data["best_image_ids"]
+    return {
+        "best_value": float(data["best_value"]),
+        "best_image_ids": None if ids is None else np.asarray(ids, dtype=np.int64),
+        "histogram": {
+            float(value): int(count) for value, count in data["histogram"]
+        },
+        "orbit_total": int(data["orbit_total"]),
+        "counters": {
+            str(key): int(val) for key, val in data["counters"].items()
+        },
+    }
 
 
 # ----------------------------------------------------------------- driver
@@ -429,6 +475,8 @@ def exact_global_minimum(
     mode: str = "bound",
     processes: int | None = None,
     initial_upper_bound: float | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> ExactSearchResult:
     """Exactly certify the minimum ODR :math:`E_{max}` over all placements.
 
@@ -452,15 +500,27 @@ def exact_global_minimum(
         (e.g. the linear placement's).  A tighter seed prunes more;
         an unachievable seed below the true minimum raises
         :class:`~repro.errors.SearchError`.  Ignored in ``full`` mode.
+    checkpoint:
+        Optional path to a :class:`repro.exec.CheckpointJournal` (JSONL).
+        Completed subtree roots and their partial accumulators are
+        persisted as they finish; giving a checkpoint forces the
+        subtree-root decomposition even for a serial search so the
+        journal has restartable units.
+    resume:
+        Resume from an existing ``checkpoint`` journal: journaled roots
+        are merged from their stored partials without re-searching their
+        subtrees.  The journal's fingerprint (torus, size, mode,
+        incumbent seed) must match this call.
 
     Raises
     ------
     InvalidParameterError
-        For an invalid size/mode, or a search space beyond
-        :data:`MAX_EXACT_SEARCH`.
+        For an invalid size/mode, a search space beyond
+        :data:`MAX_EXACT_SEARCH`, or ``resume`` without ``checkpoint``.
     SearchError
         If the orbit accounting fails its :math:`C(k^d, n)` cross-check
-        (``full`` mode) or no placement beats ``initial_upper_bound``.
+        (``full`` mode), no placement beats ``initial_upper_bound``, or
+        the resilient fan-out itself fails beyond recovery.
     """
     if mode not in ("full", "bound"):
         raise InvalidParameterError(
@@ -476,6 +536,8 @@ def exact_global_minimum(
             f"C({torus.num_nodes}, {size}) = {space} placements exceeds the "
             f"exact-search limit {MAX_EXACT_SEARCH}"
         )
+    if resume and checkpoint is None:
+        raise InvalidParameterError("resume=True requires a checkpoint path")
     upper = (
         float(initial_upper_bound)
         if mode == "bound" and initial_upper_bound is not None
@@ -486,19 +548,55 @@ def exact_global_minimum(
     histogram: dict[float, int] = {}
     counters = dict.fromkeys(SearchCounters.__dataclass_fields__, 0)
 
-    if processes is None or processes <= 1 or size < 2:
+    serial = processes is None or processes <= 1
+    if (serial and checkpoint is None) or size < 2:
         partials = [context.run_root(())]
     else:
         depth = min(_SPLIT_DEPTH, size - 1)
         frontier, shallow = context.collect_frontier(depth)
         partials = [shallow]
         if frontier:
-            with ProcessPoolExecutor(
-                max_workers=min(processes, len(frontier)),
+            workers = 1 if serial else min(processes, len(frontier))
+            journal = None
+            if checkpoint is not None:
+                journal = CheckpointJournal(
+                    checkpoint,
+                    fingerprint={
+                        "workload": "exact-search",
+                        "k": torus.k,
+                        "d": torus.d,
+                        "size": size,
+                        "mode": mode,
+                        "upper": upper,
+                        "split_depth": depth,
+                    },
+                    resume=resume,
+                    encode=_encode_partial,
+                    decode=_decode_partial,
+                )
+            tasks = [
+                ExecTask(_root_task_id(root), root) for root in frontier
+            ]
+            executor = ResilientExecutor(
+                _run_subtree,
+                jobs=workers,
                 initializer=_init_worker,
                 initargs=(torus.k, torus.d, size, mode, upper),
-            ) as pool:
-                partials.extend(pool.map(_run_subtree, frontier))
+                journal=journal,
+                label=f"exact-search[T_{torus.k}^{torus.d} n={size} {mode}]",
+            )
+            try:
+                outcome = executor.run(tasks)
+            except ExecutionError as err:
+                raise SearchError(
+                    f"exact search fan-out failed: {err} (backend "
+                    f"'exact_search', {len(frontier)} subtree roots, "
+                    f"{workers} workers)"
+                ) from err
+            finally:
+                if journal is not None:
+                    journal.close()
+            partials.extend(outcome.in_task_order(tasks))
 
     best, best_ids, orbit_total = _merge_partials(
         partials, histogram, counters

@@ -1,4 +1,4 @@
-"""Tests for the repro.devtools.lint framework and rule set RL001-RL008.
+"""Tests for the repro.devtools.lint framework and rule set RL001-RL009.
 
 Every rule gets one failing and one passing fixture snippet; the
 framework-level tests cover suppressions, reporters, the runner CLI, and
@@ -401,6 +401,91 @@ class TestRL008FullLoadEvalInLoop:
         assert "RL008" not in _codes(findings)
 
 
+# ------------------------------------------------------------------ RL009
+
+
+class TestRL009DirectPoolConstruction:
+    def test_flags_process_pool_executor(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def fan_out(shards):\n"
+            "    with ProcessPoolExecutor(4) as pool:\n"
+            "        return list(pool.map(len, shards))\n",
+        )
+        assert "RL009" in _codes(findings)
+
+    def test_flags_aliased_import(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "from concurrent.futures import ProcessPoolExecutor as PPE\n"
+            "def fan_out():\n"
+            "    return PPE(2)\n",
+        )
+        assert "RL009" in _codes(findings)
+
+    def test_flags_multiprocessing_pool(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "import multiprocessing as mp\n"
+            "def fan_out():\n"
+            "    return mp.Pool(2)\n",
+        )
+        assert "RL009" in _codes(findings)
+
+    def test_flags_dotted_attribute(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "import concurrent.futures\n"
+            "def fan_out():\n"
+            "    return concurrent.futures.ProcessPoolExecutor(2)\n",
+        )
+        assert "RL009" in _codes(findings)
+
+    def test_unrelated_pool_attribute_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def reuse(connections):\n"
+            "    return connections.Pool(2)\n",
+        )
+        assert "RL009" not in _codes(findings)
+
+    def test_exec_package_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exec/mod.py",
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def build():\n"
+            "    return ProcessPoolExecutor(2)\n",
+        )
+        assert "RL009" not in _codes(findings)
+
+    def test_tests_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "tests/test_mod.py",
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def test_bare_pool():\n"
+            "    assert ProcessPoolExecutor(2) is not None\n",
+        )
+        assert "RL009" not in _codes(findings)
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def build():\n"
+            "    return ProcessPoolExecutor(2)  # repro: noqa(RL009)\n",
+        )
+        assert "RL009" not in _codes(findings)
+
+
 # ------------------------------------------------------ framework behaviour
 
 
@@ -450,9 +535,9 @@ class TestSuppressions:
 
 
 class TestFramework:
-    def test_registry_has_the_eight_rules(self):
+    def test_registry_has_the_nine_rules(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"RL00{i}" for i in range(1, 9)]
+        assert codes == [f"RL00{i}" for i in range(1, 10)]
 
     def test_syntax_error_reported_as_rl000(self, tmp_path):
         findings = _lint_snippet(tmp_path, "repro/mod.py", "def f(:\n")

@@ -1,0 +1,156 @@
+"""Tests for repro.exec.journal — the checkpoint/resume JSONL format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec import JOURNAL_VERSION, CheckpointJournal
+
+FP = {"workload": "test", "k": 4}
+
+
+class TestFreshJournal:
+    def test_writes_header_first(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path, fingerprint=FP):
+            pass
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "fingerprint": FP,
+        }
+
+    def test_record_and_contains(self, tmp_path):
+        with CheckpointJournal(tmp_path / "run.jsonl", fingerprint=FP) as j:
+            j.record("t-0", 11)
+            j.record("t-1", 22)
+            assert "t-0" in j and "t-2" not in j
+            assert len(j) == 2
+            assert j.completed == {"t-0": 11, "t-1": 22}
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path, fingerprint=FP) as j:
+            j.record("t-0", 11)
+            j.record("t-0", 99)  # second write is dropped
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # header + one task line
+        assert json.loads(lines[1])["result"] == 11
+
+    def test_fresh_mode_truncates_existing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path, fingerprint=FP) as j:
+            j.record("t-0", 1)
+        with CheckpointJournal(path, fingerprint=FP) as j:
+            assert len(j) == 0
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        with CheckpointJournal(path, fingerprint=FP):
+            pass
+        assert path.exists()
+
+
+class TestResume:
+    def _written(self, tmp_path, results):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path, fingerprint=FP) as j:
+            for task_id, value in results.items():
+                j.record(task_id, value)
+        return path
+
+    def test_round_trip(self, tmp_path):
+        path = self._written(tmp_path, {"t-0": 1, "t-1": [2, 3]})
+        with CheckpointJournal(path, fingerprint=FP, resume=True) as j:
+            assert j.completed == {"t-0": 1, "t-1": [2, 3]}
+
+    def test_resume_appends(self, tmp_path):
+        path = self._written(tmp_path, {"t-0": 1})
+        with CheckpointJournal(path, fingerprint=FP, resume=True) as j:
+            j.record("t-1", 2)
+        with CheckpointJournal(path, fingerprint=FP, resume=True) as j:
+            assert j.completed == {"t-0": 1, "t-1": 2}
+
+    def test_encode_decode_hooks(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(
+            path, fingerprint=FP, encode=lambda v: {"x": list(v)}
+        ) as j:
+            j.record("t-0", (1, 2))
+        with CheckpointJournal(
+            path,
+            fingerprint=FP,
+            resume=True,
+            decode=lambda d: tuple(d["x"]),
+        ) as j:
+            assert j.completed == {"t-0": (1, 2)}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExecutionError, match="does not exist"):
+            CheckpointJournal(
+                tmp_path / "absent.jsonl", fingerprint=FP, resume=True
+            )
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        with pytest.raises(ExecutionError, match="empty"):
+            CheckpointJournal(path, fingerprint=FP, resume=True)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "task", "id": "t-0", "result": 1}\n')
+        with pytest.raises(ExecutionError, match="header"):
+            CheckpointJournal(path, fingerprint=FP, resume=True)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "header", "version": 99, "fingerprint": FP}
+            )
+            + "\n"
+        )
+        with pytest.raises(ExecutionError, match="version"):
+            CheckpointJournal(path, fingerprint=FP, resume=True)
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        path = self._written(tmp_path, {"t-0": 1})
+        with pytest.raises(ExecutionError, match="fingerprint"):
+            CheckpointJournal(
+                path, fingerprint={"workload": "test", "k": 5}, resume=True
+            )
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        # a process killed mid-write leaves a truncated last line — that
+        # task must simply be treated as not-yet-completed.
+        path = self._written(tmp_path, {"t-0": 1, "t-1": 2})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "task", "id": "t-2", "res')
+        with CheckpointJournal(path, fingerprint=FP, resume=True) as j:
+            assert j.completed == {"t-0": 1, "t-1": 2}
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = self._written(tmp_path, {"t-0": 1})
+        lines = path.read_text().splitlines()
+        lines.insert(1, "NOT JSON")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExecutionError, match="corrupt"):
+            CheckpointJournal(path, fingerprint=FP, resume=True)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl", fingerprint=FP)
+        journal.close()
+        journal.close()
+
+    def test_repr_mentions_path_and_count(self, tmp_path):
+        with CheckpointJournal(tmp_path / "run.jsonl", fingerprint=FP) as j:
+            j.record("t-0", 1)
+            assert "run.jsonl" in repr(j) and "completed=1" in repr(j)

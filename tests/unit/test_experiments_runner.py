@@ -1,0 +1,92 @@
+"""Tests for repro.experiments.runner — partial failure and checkpointing.
+
+The suite swaps a tiny synthetic registry in for the real one so the
+runner's failure tolerance and journal round-trip can be exercised in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import base
+from repro.experiments.runner import render_results, run_all
+from repro.util.tables import Table
+
+
+def _passing(quick):
+    result = base.ExperimentResult("EXP-2", "passes", passed=True)
+    result.check(True, "claim holds")
+    table = Table(["k", "E_max"], title="synthetic")
+    table.add_row([4, 2.0])
+    result.tables.append(table)
+    return result
+
+
+def _raising(quick):
+    raise RuntimeError("synthetic experiment crash")
+
+
+@pytest.fixture
+def synthetic_registry(monkeypatch):
+    registry = {
+        "EXP-1": base.Experiment("EXP-1", "crashes", "none", _raising),
+        "EXP-2": base.Experiment("EXP-2", "passes", "none", _passing),
+    }
+    monkeypatch.setattr(base, "_REGISTRY", registry)
+    return registry
+
+
+class TestPartialFailure:
+    def test_crash_recorded_and_sweep_continues(self, synthetic_registry):
+        results = run_all()
+        assert set(results) == {"EXP-1", "EXP-2"}
+        assert results["EXP-2"].passed
+        crashed = results["EXP-1"]
+        assert not crashed.passed
+        assert any(
+            "RuntimeError: synthetic experiment crash" in f
+            for f in crashed.findings
+        )
+        assert any(f.startswith("[note] traceback:") for f in crashed.findings)
+
+    def test_render_counts_crashed_as_failed(self, synthetic_registry):
+        text = render_results(run_all())
+        assert "1/2 experiments passed" in text
+        assert "Verdict: FAIL" in text and "Verdict: PASS" in text
+
+
+class TestCheckpointResume:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(InvalidParameterError):
+            run_all(resume=True)
+
+    def test_resume_restores_without_rerunning(
+        self, synthetic_registry, tmp_path
+    ):
+        path = tmp_path / "suite.jsonl"
+        first = run_all(checkpoint=str(path))
+        # sabotage EXP-2: if resume re-ran it, it would now crash
+        synthetic_registry["EXP-2"] = base.Experiment(
+            "EXP-2", "passes", "none", _raising
+        )
+        second = run_all(checkpoint=str(path), resume=True)
+        assert second["EXP-2"].passed
+        assert second["EXP-2"].findings == first["EXP-2"].findings
+
+    def test_tables_survive_the_round_trip(self, synthetic_registry, tmp_path):
+        path = tmp_path / "suite.jsonl"
+        first = run_all(checkpoint=str(path))
+        second = run_all(checkpoint=str(path), resume=True)
+        assert render_results(second) == render_results(first)
+
+    def test_quick_flag_fingerprints_the_journal(
+        self, synthetic_registry, tmp_path
+    ):
+        from repro.errors import ExecutionError
+
+        path = tmp_path / "suite.jsonl"
+        run_all(quick=True, checkpoint=str(path))
+        with pytest.raises(ExecutionError, match="fingerprint"):
+            run_all(quick=False, checkpoint=str(path), resume=True)

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.routing",
     "repro.load",
     "repro.load.engine",
+    "repro.exec",
     "repro.bisection",
     "repro.sim",
     "repro.schedule",
