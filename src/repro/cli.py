@@ -16,12 +16,20 @@ Usage (after ``pip install -e .``)::
     python -m repro certify   --k 6 --d 2 --jobs 4 --checkpoint run.jsonl --resume
     python -m repro experiments --checkpoint suite.jsonl --resume
     python -m repro analyze   --k 8 --d 2 --jobs 4 --retries 3 --task-timeout 300
+    python -m repro certify   --k 5 --d 2 --trace out.jsonl --progress
+    python -m repro trace summarize out.jsonl
+    python -m repro experiments --quick --profile pstats
+    python -m repro --quiet analyze --k 8 --d 2
 
 Every subcommand prints plain text (markdown-compatible tables) to stdout
 and exits non-zero if a reproduction check fails.  Long-running
 subcommands accept resilience flags (``--retries``, ``--task-timeout``,
 ``--checkpoint``/``--resume``) and deterministic fault injection
-(``--chaos-seed``) wired through :mod:`repro.exec`.
+(``--chaos-seed``) wired through :mod:`repro.exec`, plus observability
+flags (``--trace``, ``--profile``/``--profile-out``) wired through
+:mod:`repro.obs`.  Diagnostics go to stderr via :mod:`repro.obs.console`;
+the top-level ``--quiet`` silences everything but errors, keeping
+machine-parsed stdout clean.
 """
 
 from __future__ import annotations
@@ -46,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress stderr diagnostics (errors still print)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_design = sub.add_parser(
@@ -59,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_torus_args(p_analyze)
     _add_engine_args(p_analyze)
     _add_exec_args(p_analyze)
+    _add_obs_args(p_analyze)
     p_analyze.add_argument(
         "--markdown",
         action="store_true",
@@ -69,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p_exp)
     _add_exec_args(p_exp)
     _add_checkpoint_args(p_exp)
+    _add_obs_args(p_exp)
     p_exp.add_argument(
         "--quick", action="store_true", help="use the reduced sweeps"
     )
@@ -116,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--routing", choices=["odr", "udr"], default="odr")
     _add_engine_args(p_sweep)
     _add_exec_args(p_sweep)
+    _add_obs_args(p_sweep)
 
     p_certify = sub.add_parser(
         "certify",
@@ -158,11 +174,26 @@ def build_parser() -> argparse.ArgumentParser:
             "linear placement's, when --size is the linear size)"
         ),
     )
+    p_certify.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit search heartbeat lines to stderr while certifying",
+    )
     _add_exec_args(p_certify)
     _add_checkpoint_args(p_certify)
+    _add_obs_args(p_certify)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect JSONL traces written with --trace"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_sum = trace_sub.add_parser(
+        "summarize", help="render span/event/metric summary tables"
+    )
+    p_trace_sum.add_argument("path", help="the trace JSONL file to summarize")
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis rules (RL001-RL009)"
+        "lint", help="run the repo's static-analysis rules (RL001-RL010)"
     )
     p_lint.add_argument(
         "paths",
@@ -278,6 +309,57 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL trace of spans/events/metrics to this file",
+    )
+    group.add_argument(
+        "--profile",
+        choices=["pstats", "flamegraph"],
+        default=None,
+        help=(
+            "profile the command with cProfile: 'pstats' writes a binary "
+            "dump, 'flamegraph' writes collapsed stacks"
+        ),
+    )
+    group.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="profile output path (default: <command>.prof / <command>.folded)",
+    )
+
+
+@contextlib.contextmanager
+def _obs_context(args: argparse.Namespace) -> Iterator[None]:
+    """Install the tracer/profiler requested by --trace/--profile flags."""
+    from repro.obs import JsonlTraceSink, Tracer, console, profiling, using_tracer
+
+    trace_path = getattr(args, "trace", None)
+    with profiling(
+        getattr(args, "profile", None),
+        out=getattr(args, "profile_out", None),
+        label=str(getattr(args, "command", "repro")),
+    ):
+        if trace_path is None:
+            yield
+            return
+        tracer = Tracer(
+            sink=JsonlTraceSink(trace_path, label=str(args.command)),
+            label=str(args.command),
+        )
+        try:
+            with using_tracer(tracer):
+                yield
+        finally:
+            tracer.finish()
+            console.info(f"trace written to {trace_path}")
+
+
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("checkpointing")
     group.add_argument(
@@ -336,9 +418,11 @@ def _exec_context(args: argparse.Namespace) -> Iterator[None]:
         with using_exec_policy(policy):
             yield
     finally:
+        from repro.obs import console
+
         for report in recent_reports():
             if report.degraded:
-                print(f"resilience: {report.summary()}", file=sys.stderr)
+                console.warn(f"resilience: {report.summary()}")
 
 
 # --------------------------------------------------------------- commands
@@ -363,7 +447,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.designer import design_placement
 
     design = design_placement(args.k, args.d, t=args.t, routing=args.routing)
-    with _engine_context(args), _exec_context(args):
+    with _obs_context(args), _engine_context(args), _exec_context(args):
         report = analyze(design.placement, design.routing)
     if getattr(args, "markdown", False):
         from repro.core.report_md import analysis_report_md
@@ -394,11 +478,11 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import render_results
 
     if args.only:
-        with _engine_context(args), _exec_context(args):
+        with _obs_context(args), _engine_context(args), _exec_context(args):
             result = get_experiment(args.only).run(quick=args.quick)
         print(result.render())
         return 0 if result.passed else 1
-    with _engine_context(args), _exec_context(args):
+    with _obs_context(args), _engine_context(args), _exec_context(args):
         results = run_all(
             quick=args.quick,
             checkpoint=args.checkpoint,
@@ -481,7 +565,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.routing == "odr"
         else lambda d: UnorderedDimensionalRouting()
     )
-    with _engine_context(args), _exec_context(args):
+    with _obs_context(args), _engine_context(args), _exec_context(args):
         rows = scaling_rows(family, routing_factory, args.d, ks)
     table = Table(["k", "|P|", "E_max", "E_max/|P|"],
                   title=f"{args.family} + {args.routing.upper()} on d={args.d}")
@@ -507,11 +591,12 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     if upper is None and args.mode == "bound" and size == args.k ** (args.d - 1):
         upper = float(odr_edge_loads(linear_placement(torus)).max())
         print(f"incumbent seed  : linear placement E_max = {upper:g}")
-    with _exec_context(args):
+    with _obs_context(args), _exec_context(args):
         result = exact_global_minimum(
             torus, size, mode=args.mode, processes=args.jobs,
             initial_upper_bound=upper,
             checkpoint=args.checkpoint, resume=args.resume,
+            progress=True if args.progress else None,
         )
     counters = result.counters
     witness = sorted(map(tuple, result.example_optimal.coords().tolist()))
@@ -540,6 +625,14 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_path
+
+    if args.trace_command == "summarize":
+        print(summarize_path(args.path), end="")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint.__main__ import run
 
@@ -562,18 +655,24 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "certify": _cmd_certify,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.obs import console
+
     args = build_parser().parse_args(argv)
+    previous_quiet = console.set_quiet(bool(getattr(args, "quiet", False)))
     try:
         return _COMMANDS[args.command](args)
     except Exception as err:  # surface library errors as clean CLI failures
-        print(f"error: {err}", file=sys.stderr)
+        console.error(f"error: {err}")
         return 2
+    finally:
+        console.set_quiet(previous_quiet)
 
 
 if __name__ == "__main__":  # pragma: no cover

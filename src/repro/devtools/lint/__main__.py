@@ -11,6 +11,7 @@ from typing import Sequence
 
 from repro.devtools.lint import all_rules, lint_paths
 from repro.devtools.lint.reporters import render_json, render_text
+from repro.obs import console
 
 __all__ = ["build_parser", "run", "main"]
 
@@ -18,7 +19,7 @@ __all__ = ["build_parser", "run", "main"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="repro's AST lint: paper-invariant rules RL001-RL009",
+        description="repro's AST lint: paper-invariant rules RL001-RL010",
     )
     parser.add_argument(
         "paths",
@@ -70,7 +71,7 @@ def run(argv: Sequence[str] | None = None) -> int:
             ignore=_split_codes(args.ignore),
         )
     except (KeyError, OSError) as err:
-        print(f"lint error: {err}", file=sys.stderr)
+        console.error(f"lint error: {err}")
         return 2
     renderer = render_json if args.format == "json" else render_text
     print(renderer(report))

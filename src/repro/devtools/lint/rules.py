@@ -1,4 +1,4 @@
-"""The built-in rule set: repo-specific invariants RL001–RL009.
+"""The built-in rule set: repo-specific invariants RL001–RL010.
 
 Each rule generalizes a bug class this repository has actually hit (see
 ``docs/STATIC_ANALYSIS.md`` for the catalogue and the PR-1 incidents the
@@ -25,6 +25,7 @@ __all__ = [
     "MutableDefaultArgument",
     "FullLoadEvalInLoop",
     "DirectPoolConstruction",
+    "WallClockOrPrintInLibrary",
 ]
 
 #: identifier fragments that mark a value as a real-valued load figure —
@@ -689,3 +690,81 @@ class DirectPoolConstruction(Rule):
                     "deadlines, checkpointing, serial fallback), or certify "
                     "an exempt site with `# repro: noqa(RL009)`",
                 )
+
+
+@register
+class WallClockOrPrintInLibrary(Rule):
+    """RL010 — wall-clock reads or bare ``print`` in library code.
+
+    ``time.time()`` is NTP-steppable: durations derived from it can jump
+    backwards or skew (the ``ExecutionReport.started_at`` bug class) —
+    measure with ``time.perf_counter()``/``time.monotonic()`` and take
+    the one informational wall-clock stamp via
+    :func:`repro.obs.console.wall_clock`.  Bare ``print`` in library
+    code pollutes machine-parsed stdout and ignores ``--quiet`` —
+    results return to the caller; diagnostics go through
+    :mod:`repro.obs.console`.  The CLI (stdout *is* its contract),
+    ``devtools``, and the console module itself are exempt.
+    """
+
+    code = "RL010"
+    summary = "wall-clock time.time()/bare print() in library code"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file or not ctx.in_package():
+            return False
+        if ctx.path.name == "cli.py" or ctx.in_package("devtools"):
+            return False
+        return not ctx.posix_path.endswith("repro/obs/console.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        time_aliases: set[str] = set()  # module aliases of `time`
+        clock_names: set[str] = set()  # names bound by `from time import time`
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "time":
+                            clock_names.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "time"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_aliases
+            ):
+                # flag the reference itself, so `default_factory=time.time`
+                # is caught even without a call
+                yield self.finding(
+                    ctx,
+                    node,
+                    "`time.time` is wall-clock (NTP-steppable) — measure "
+                    "with `time.perf_counter()`, and take informational "
+                    "timestamps via `repro.obs.console.wall_clock()`, or "
+                    "certify with `# repro: noqa(RL010)`",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                if node.func.id in clock_names:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{node.func.id}()` (from time import time) is "
+                        "wall-clock — measure with `time.perf_counter()` "
+                        "or use `repro.obs.console.wall_clock()`, or "
+                        "certify with `# repro: noqa(RL010)`",
+                    )
+                elif node.func.id == "print":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "bare `print()` in library code — return results to "
+                        "the caller and route diagnostics through "
+                        "`repro.obs.console` (quiet-aware stderr), or "
+                        "certify with `# repro: noqa(RL010)`",
+                    )

@@ -20,6 +20,7 @@ __all__ = [
     "SearchError",
     "ExecutionError",
     "TaskTimeoutError",
+    "TraceError",
 ]
 
 
@@ -103,6 +104,16 @@ class ExecutionError(ReproError):
     disabled, a checkpoint journal whose fingerprint does not match the
     workload being resumed, or an executor misconfiguration (negative
     retry budget, duplicate task ids).
+    """
+
+
+class TraceError(ReproError):
+    """A :mod:`repro.obs` trace could not be written or read back.
+
+    Examples: emitting to a closed sink, summarizing a file with no
+    trace header, an unsupported format version, or a corrupt interior
+    line (traces tolerate only the torn-*final*-line kill artifact,
+    matching :class:`~repro.exec.journal.CheckpointJournal` semantics).
     """
 
 

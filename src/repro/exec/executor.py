@@ -46,6 +46,7 @@ from repro.exec.chaos import ChaosPolicy, unit_hash
 from repro.exec.journal import CheckpointJournal
 from repro.exec.policy import ExecPolicy, current_exec_policy
 from repro.exec.report import ExecutionReport, record_report
+from repro.obs.tracer import NULL_TRACER, current_tracer
 
 __all__ = ["ExecTask", "ExecutionOutcome", "ResilientExecutor"]
 
@@ -159,6 +160,7 @@ class ResilientExecutor:
         self.label = label
         self._pool: ProcessPoolExecutor | None = None
         self._parent_initialized = False
+        self._tracer = NULL_TRACER
 
     # ------------------------------------------------------------ schedule
 
@@ -201,7 +203,7 @@ class ResilientExecutor:
             wrong answer does not become right by repetition).
         """
         report = ExecutionReport(label=self.label, tasks=len(tasks))
-        start = time.monotonic()
+        self._tracer = current_tracer()
         results: dict[str, Any] = {}
         seen: set[str] = set()
         for task in tasks:
@@ -218,23 +220,35 @@ class ResilientExecutor:
                         task.task_id
                     ]
                     report.resumed += 1
-                    report.add_event(
-                        "resume", task.task_id, 0, "restored from checkpoint"
+                    self._note(
+                        report,
+                        "resume",
+                        task.task_id,
+                        0,
+                        "restored from checkpoint",
                     )
 
         todo = [
             _TaskState(task) for task in tasks if task.task_id not in results
         ]
         try:
-            if todo:
-                if self.jobs <= 1:
-                    for state in todo:
-                        self._run_inline(state, results, report)
-                else:
-                    self._run_pool(todo, results, report)
+            with self._tracer.span(
+                "exec.run",
+                label=self.label,
+                tasks=len(tasks),
+                jobs=self.jobs,
+            ):
+                if todo:
+                    if self.jobs <= 1:
+                        for state in todo:
+                            self._run_inline(state, results, report)
+                    else:
+                        self._run_pool(todo, results, report)
         finally:
             self._shutdown_pool()
-            report.elapsed_seconds = time.monotonic() - start
+            report.finish()
+            if self._tracer.enabled:
+                self._flush_metrics(report)
             record_report(report)
         return ExecutionOutcome(results=results, report=report)
 
@@ -268,7 +282,8 @@ class ResilientExecutor:
                         "and serial fallback is disabled"
                     )
                 report.fallbacks += 1
-                report.add_event(
+                self._note(
+                    report,
                     "fallback",
                     state.task.task_id,
                     state.attempts,
@@ -284,7 +299,8 @@ class ResilientExecutor:
                 pending.remove(state)
                 if state.attempts > 0:
                     report.retries += 1
-                    report.add_event(
+                    self._note(
+                        report,
                         "retry",
                         state.task.task_id,
                         state.attempts,
@@ -331,6 +347,18 @@ class ResilientExecutor:
                 if error is None:
                     self._complete(state, future.result(), results, report)
                     completed += 1
+                    if self._tracer.enabled:
+                        duration = time.monotonic() - state.started
+                        self._tracer.record_span(
+                            "exec.task",
+                            duration,
+                            task_id=state.task.task_id,
+                            attempt=state.attempts,
+                            mode="pool",
+                        )
+                        self._tracer.metrics.histogram(
+                            "exec.task_seconds"
+                        ).observe(duration)
                 elif isinstance(error, BrokenExecutor):
                     broken = True
                     self._charge(
@@ -363,7 +391,8 @@ class ResilientExecutor:
                 if overdue:
                     for _future, state in overdue:
                         report.timeouts += 1
-                        report.add_event(
+                        self._note(
+                            report,
                             "timeout",
                             state.task.task_id,
                             state.attempts,
@@ -398,13 +427,39 @@ class ResilientExecutor:
             delay = 0.0  # heading to fallback; no point waiting
         state.not_before = time.monotonic() + delay
         pending.append(state)
-        report.add_event(
-            "attempt-failed", state.task.task_id, state.attempts, reason
+        self._note(
+            report, "attempt-failed", state.task.task_id, state.attempts, reason
         )
+
+    def _note(
+        self,
+        report: ExecutionReport,
+        kind: str,
+        task_id: str | None,
+        attempt: int,
+        detail: str,
+    ) -> None:
+        """Record one incident in the report *and* the ambient trace."""
+        report.add_event(kind, task_id, attempt, detail)
+        self._tracer.event(
+            f"exec.{kind}", task_id=task_id, attempt=attempt, detail=detail
+        )
+
+    def _flush_metrics(self, report: ExecutionReport) -> None:
+        """Push the run's headline counters into the tracer's registry."""
+        metrics = self._tracer.metrics
+        metrics.counter("exec.tasks").add(report.tasks)
+        metrics.counter("exec.completed").add(report.completed)
+        metrics.counter("exec.resumed").add(report.resumed)
+        metrics.counter("exec.retries").add(report.retries)
+        metrics.counter("exec.timeouts").add(report.timeouts)
+        metrics.counter("exec.broken_pools").add(report.broken_pools)
+        metrics.counter("exec.pool_rebuilds").add(report.pool_rebuilds)
+        metrics.counter("exec.fallbacks").add(report.fallbacks)
 
     def _note_broken_pool(self, report: ExecutionReport, detail: str) -> None:
         report.broken_pools += 1
-        report.add_event("broken-pool", None, 0, detail)
+        self._note(report, "broken-pool", None, 0, detail)
 
     def _complete(
         self,
@@ -431,7 +486,13 @@ class ResilientExecutor:
         if self.initializer is not None and not self._parent_initialized:
             self.initializer(*self.initargs)
             self._parent_initialized = True
-        value = self.worker_fn(state.task.payload)
+        with self._tracer.span(
+            "exec.task",
+            task_id=state.task.task_id,
+            attempt=state.attempts,
+            mode="inline",
+        ):
+            value = self.worker_fn(state.task.payload)
         self._complete(state, value, results, report)
 
     # ------------------------------------------------------ pool lifecycle
@@ -456,7 +517,7 @@ class ResilientExecutor:
             return
         self._kill_pool()
         report.pool_rebuilds += 1
-        report.add_event("rebuild", None, 0, "process pool torn down")
+        self._note(report, "rebuild", None, 0, "process pool torn down")
 
     def _kill_pool(self) -> None:
         pool, self._pool = self._pool, None

@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.console import wall_clock
+
 __all__ = [
     "ExecutionEvent",
     "ExecutionReport",
@@ -76,8 +78,14 @@ class ExecutionReport:
         their retry budget.
     events:
         The ordered incident log (see :class:`ExecutionEvent`).
-    started_at, elapsed_seconds:
-        Wall-clock bookkeeping.
+    started_unix:
+        Informational wall-clock timestamp of report creation; never
+        used for arithmetic (NTP steps would corrupt durations).
+    started_monotonic:
+        ``time.perf_counter()`` at creation — the basis every duration
+        is computed from (see :meth:`finish`).
+    elapsed_seconds:
+        Monotonic run duration, set by :meth:`finish`.
     """
 
     label: str = "exec"
@@ -91,7 +99,8 @@ class ExecutionReport:
     pool_rebuilds: int = 0
     fallbacks: int = 0
     events: list[ExecutionEvent] = field(default_factory=list)
-    started_at: float = field(default_factory=time.time)
+    started_unix: float = field(default_factory=wall_clock)
+    started_monotonic: float = field(default_factory=time.perf_counter)
     elapsed_seconds: float = 0.0
 
     def add_event(
@@ -99,6 +108,10 @@ class ExecutionReport:
     ) -> None:
         """Append one incident to the log."""
         self.events.append(ExecutionEvent(kind, task_id, attempt, detail))
+
+    def finish(self) -> None:
+        """Fix ``elapsed_seconds`` from the monotonic start."""
+        self.elapsed_seconds = time.perf_counter() - self.started_monotonic
 
     @property
     def degraded(self) -> bool:
@@ -152,6 +165,7 @@ class ExecutionReport:
             "broken_pools": self.broken_pools,
             "pool_rebuilds": self.pool_rebuilds,
             "fallbacks": self.fallbacks,
+            "started_at_unix": self.started_unix,
             "elapsed_seconds": self.elapsed_seconds,
             "events": [event.render() for event in self.events],
         }

@@ -32,6 +32,9 @@ class ExperimentResult:
     passed:
         True iff every checked claim held (in its verified sense — see the
         experiment docstrings for claims we reproduce with corrections).
+    elapsed_seconds:
+        Monotonic run duration, stamped by the suite runner (``None``
+        when the experiment was constructed outside a timed sweep).
     """
 
     experiment_id: str
@@ -39,6 +42,7 @@ class ExperimentResult:
     tables: list[Table] = field(default_factory=list)
     findings: list[str] = field(default_factory=list)
     passed: bool = True
+    elapsed_seconds: float | None = None
 
     def check(self, condition: bool, finding: str) -> None:
         """Record a claim check; a failed check fails the experiment."""

@@ -16,6 +16,7 @@ experiments are persisted as they finish and skipped on ``resume``.
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Any
 
@@ -28,6 +29,8 @@ from repro.experiments.base import (
     get_experiment,
 )
 from repro.load.engine import using_engine
+from repro.obs.tracer import current_tracer
+from repro.util.tables import Table
 
 __all__ = ["run_all", "render_results", "render_all"]
 
@@ -70,15 +73,18 @@ def _encode_result(result: ExperimentResult) -> dict[str, Any]:
         "passed": bool(result.passed),
         "findings": list(result.findings),
         "tables": [table.render() for table in result.tables],
+        "elapsed_seconds": result.elapsed_seconds,
     }
 
 
 def _decode_result(data: dict[str, Any]) -> ExperimentResult:
     """Inverse of :func:`_encode_result`."""
+    elapsed = data.get("elapsed_seconds")
     result = ExperimentResult(
         experiment_id=str(data["experiment_id"]),
         title=str(data["title"]),
         passed=bool(data["passed"]),
+        elapsed_seconds=None if elapsed is None else float(elapsed),
     )
     result.findings = [str(finding) for finding in data["findings"]]
     result.tables = [_PreRenderedTable(str(text)) for text in data["tables"]]
@@ -116,6 +122,7 @@ def run_all(
         else None
     )
     results: dict[str, ExperimentResult] = {}
+    tracer = current_tracer()
     try:
         with using_engine(engine):
             for exp_id in experiment_ids():
@@ -123,10 +130,16 @@ def run_all(
                     results[exp_id] = journal.completed[exp_id]
                     continue
                 exp = get_experiment(exp_id)
-                try:
-                    result = exp.run(quick=quick)
-                except Exception as err:
-                    result = _crashed_result(exp, err)
+                started = time.perf_counter()
+                with tracer.span(
+                    "experiment.run", experiment=exp_id, quick=quick
+                ) as span:
+                    try:
+                        result = exp.run(quick=quick)
+                    except Exception as err:
+                        result = _crashed_result(exp, err)
+                        span.annotate(crashed=type(err).__name__)
+                result.elapsed_seconds = time.perf_counter() - started
                 results[exp_id] = result
                 if journal is not None:
                     journal.record(exp_id, result)
@@ -151,7 +164,27 @@ def render_results(
         if exp_id in results:
             parts.append(results[exp_id].render())
             parts.append("")
+    timing = _timing_table(results)
+    if timing is not None:
+        parts.append(timing.render())
+        parts.append("")
     return "\n".join(parts)
+
+
+def _timing_table(results: dict[str, ExperimentResult]) -> Table | None:
+    """Per-experiment wall-time table (``None`` if nothing was timed)."""
+    timed = [
+        (exp_id, results[exp_id].elapsed_seconds)
+        for exp_id in experiment_ids()
+        if exp_id in results and results[exp_id].elapsed_seconds is not None
+    ]
+    if not timed:
+        return None
+    table = Table(["experiment", "seconds"], title="Suite timing")
+    for exp_id, seconds in timed:
+        table.add_row([exp_id, f"{seconds:.3f}"])
+    table.add_row(["total", f"{sum(sec for _e, sec in timed):.3f}"])
+    return table
 
 
 def render_all(quick: bool = False, engine=None) -> str:

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.errors import EngineError
 from repro.load.engine.base import LoadBackend
+from repro.obs.tracer import current_tracer
 from repro.load.engine.displacement import DisplacementBackend
 from repro.load.engine.parallel import DEFAULT_CHUNK_PAIRS, ParallelBackend
 from repro.load.engine.reference import ReferenceBackend
@@ -146,7 +147,30 @@ class LoadEngine:
     ) -> np.ndarray:
         """Per-edge loads through the selected backend."""
         backend = self.backend_for(placement, routing, pair_weights)
-        return backend.compute(placement, routing, pair_weights=pair_weights)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return backend.compute(
+                placement, routing, pair_weights=pair_weights
+            )
+        m = len(placement)
+        pairs = m * (m - 1)
+        with tracer.span(
+            "engine.edge_loads",
+            backend=backend.name,
+            placement=placement.name,
+            routing=routing.name,
+            pairs=pairs,
+        ) as span:
+            loads = backend.compute(
+                placement, routing, pair_weights=pair_weights
+            )
+        metrics = tracer.metrics
+        metrics.counter(f"engine.calls.{backend.name}").add(1)
+        if span.duration_seconds > 0:
+            metrics.gauge("engine.pairs_per_sec").set(
+                pairs / span.duration_seconds
+            )
+        return loads
 
     def emax(
         self,

@@ -34,6 +34,7 @@ from repro.load.engine.displacement import (
     DisplacementPathCache,
     accumulate_displacement_loads,
 )
+from repro.obs.tracer import current_tracer
 from repro.placements.base import Placement
 from repro.routing.base import RoutingAlgorithm
 from repro.torus.topology import Torus
@@ -168,7 +169,13 @@ def parallel_edge_loads(
         label=f"parallel-loads[{placement.name}@T_{torus.k}^{torus.d}]",
     )
     try:
-        outcome = executor.run(tasks)
+        with current_tracer().span(
+            "engine.parallel.fanout",
+            shards=n_shards,
+            workers=workers,
+            pairs=int(n_pairs),
+        ):
+            outcome = executor.run(tasks)
     except ExecutionError as err:
         raise LoadError(
             f"parallel load backend failed: {err} (backend 'parallel', "

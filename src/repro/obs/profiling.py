@@ -1,0 +1,114 @@
+"""Profiling hooks: cProfile dumps and collapsed-stack files.
+
+``repro certify --profile pstats`` / ``--profile flamegraph`` wrap the
+whole command in a :mod:`cProfile` session and write either
+
+* a binary ``pstats`` dump (``.prof``) — load with
+  ``python -m pstats`` or ``snakeviz``; or
+* a collapsed-stack text file (``.folded``) — one
+  ``caller;callee microseconds`` line per observed edge, the input
+  format of Brendan Gregg's ``flamegraph.pl`` and of
+  `speedscope <https://www.speedscope.app>`_.
+
+cProfile records caller→callee edges rather than full stacks, so the
+collapsed output is a two-level approximation: each function's *own*
+time is attributed under its direct callers.  That is exactly the
+"which kernel is hot, who calls it" question the load/search layers
+need; for full stacks, sampling profilers remain the right tool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.obs.console import info
+
+__all__ = ["PROFILE_MODES", "profiling", "write_collapsed_stacks"]
+
+#: supported ``--profile`` modes and their default file suffixes.
+PROFILE_MODES: dict[str, str] = {"pstats": ".prof", "flamegraph": ".folded"}
+
+
+def _frame_name(func: tuple[str, int, str]) -> str:
+    """A compact ``module:function`` label for one cProfile frame."""
+    filename, lineno, name = func
+    if filename == "~":  # C/builtin frames have no file
+        return name.strip("<>")
+    stem = Path(filename).stem
+    return f"{stem}:{name}"
+
+
+def write_collapsed_stacks(profile: "object", path: Path) -> int:
+    """Write a cProfile session as collapsed stacks; returns line count.
+
+    Each line is ``caller;callee value`` (or ``callee value`` for root
+    frames), with ``value`` the callee's own time under that caller in
+    integer microseconds.  Lines are sorted for deterministic output.
+    """
+    import pstats
+
+    stats = pstats.Stats(profile).stats  # type: ignore[arg-type, attr-defined]
+    lines: list[str] = []
+    for func, (_cc, _nc, tt, _ct, callers) in stats.items():
+        callee = _frame_name(func)
+        if callers:
+            for caller_func, (_ccc, _ncc, caller_tt, _cct) in callers.items():
+                micros = int(round(caller_tt * 1e6))
+                if micros > 0:
+                    lines.append(
+                        f"{_frame_name(caller_func)};{callee} {micros}"
+                    )
+        else:
+            micros = int(round(tt * 1e6))
+            if micros > 0:
+                lines.append(f"{callee} {micros}")
+    lines.sort()
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return len(lines)
+
+
+@contextlib.contextmanager
+def profiling(
+    mode: str | None,
+    out: str | os.PathLike[str] | None = None,
+    label: str = "repro",
+) -> Iterator[object | None]:
+    """Profile the enclosed block (``mode=None`` is a transparent no-op).
+
+    Parameters
+    ----------
+    mode:
+        ``"pstats"``, ``"flamegraph"``, or ``None``.
+    out:
+        Output path; defaults to ``<label>`` plus the mode's suffix in
+        the working directory.
+    label:
+        Basename used when ``out`` is omitted (the CLI passes the
+        subcommand name).
+    """
+    if mode is None:
+        yield None
+        return
+    if mode not in PROFILE_MODES:
+        raise InvalidParameterError(
+            f"profile mode must be one of {sorted(PROFILE_MODES)}, got {mode!r}"
+        )
+    import cProfile
+
+    path = Path(out) if out is not None else Path(label + PROFILE_MODES[mode])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        if mode == "pstats":
+            profile.dump_stats(str(path))
+        else:
+            write_collapsed_stacks(profile, path)
+        info(f"profile ({mode}) written to {path}")

@@ -1,0 +1,151 @@
+"""Render a JSONL trace into human-readable summary tables.
+
+``repro trace summarize out.jsonl`` turns the raw record stream into:
+
+* a **span table** — per span name: count, total/mean/max duration,
+  and the share of the root span's wall time;
+* an **event table** — incident counts per event name (the executor's
+  retries/timeouts/rebuilds/fallbacks show up here);
+* **metric tables** — counters, gauges, and histogram summaries from
+  the final metrics snapshot.
+
+Aggregation is deliberately name-based rather than tree-based: a
+T_6² certification emits thousands of ``exec.task`` spans, and the
+question a human asks is "where did the time go *per phase*", not "show
+me every span".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.sink import read_trace
+from repro.util.tables import Table
+
+__all__ = ["summarize_trace", "summarize_path"]
+
+
+def _span_table(spans: list[dict[str, Any]]) -> Table:
+    by_name: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for span in spans:
+        name = str(span.get("name", "?"))
+        by_name.setdefault(name, []).append(
+            float(span.get("duration_seconds", 0.0))
+        )
+        if span.get("status") == "error":
+            errors[name] = errors.get(name, 0) + 1
+    total_all = sum(sum(durations) for durations in by_name.values())
+    # root spans (no parent) define the wall-clock denominator when present
+    roots = [
+        float(span.get("duration_seconds", 0.0))
+        for span in spans
+        if span.get("parent") is None
+    ]
+    denominator = max(sum(roots), 0.0) or total_all
+    table = Table(
+        ["span", "count", "total s", "mean s", "max s", "% of run", "errors"],
+        title="Spans",
+    )
+    ranked = sorted(
+        by_name.items(), key=lambda item: (-sum(item[1]), item[0])
+    )
+    for name, durations in ranked:
+        total = sum(durations)
+        share = 100.0 * total / denominator if denominator > 0 else 0.0
+        table.add_row(
+            [
+                name,
+                len(durations),
+                f"{total:.4f}",
+                f"{total / len(durations):.4f}",
+                f"{max(durations):.4f}",
+                f"{share:.1f}",
+                errors.get(name, 0),
+            ]
+        )
+    return table
+
+
+def _event_table(events: list[dict[str, Any]]) -> Table:
+    counts: dict[str, int] = {}
+    for event in events:
+        name = str(event.get("name", "?"))
+        counts[name] = counts.get(name, 0) + 1
+    table = Table(["event", "count"], title="Events")
+    for name in sorted(counts):
+        table.add_row([name, counts[name]])
+    return table
+
+
+def _metric_tables(values: dict[str, Any]) -> list[Table]:
+    tables: list[Table] = []
+    counters = values.get("counters", {})
+    if counters:
+        table = Table(["counter", "value"], title="Counters")
+        for name in sorted(counters):
+            table.add_row([name, f"{float(counters[name]):g}"])
+        tables.append(table)
+    gauges = values.get("gauges", {})
+    if gauges:
+        table = Table(["gauge", "last value"], title="Gauges")
+        for name in sorted(gauges):
+            table.add_row([name, f"{float(gauges[name]):g}"])
+        tables.append(table)
+    histograms = values.get("histograms", {})
+    if histograms:
+        table = Table(
+            ["histogram", "count", "total", "mean", "min", "max"],
+            title="Histograms",
+        )
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = int(hist.get("count", 0))
+            total = float(hist.get("total", 0.0))
+            mean = total / count if count else 0.0
+            table.add_row(
+                [
+                    name,
+                    count,
+                    f"{total:.4f}",
+                    f"{mean:.4f}",
+                    "-" if hist.get("min") is None else f"{hist['min']:.4g}",
+                    "-" if hist.get("max") is None else f"{hist['max']:.4g}",
+                ]
+            )
+        tables.append(table)
+    return tables
+
+
+def summarize_trace(records: list[dict[str, Any]]) -> str:
+    """One markdown-compatible text report for a loaded trace."""
+    header = records[0] if records and records[0].get("kind") == "header" else {}
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    metrics = [r for r in records if r.get("kind") == "metrics"]
+    parts = [
+        f"# Trace summary — {header.get('label', 'trace')}",
+        "",
+        f"{len(spans)} spans, {len(events)} events, "
+        f"{len(records)} records (format v{header.get('version', '?')}, "
+        f"pid {header.get('pid', '?')}).",
+        "",
+    ]
+    if spans:
+        parts.append(_span_table(spans).render())
+        parts.append("")
+    if events:
+        parts.append(_event_table(events).render())
+        parts.append("")
+    # the *last* metrics record is the final snapshot of the run
+    if metrics:
+        for table in _metric_tables(metrics[-1].get("values", {})):
+            parts.append(table.render())
+            parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def summarize_path(path: str | os.PathLike[str]) -> str:
+    """Read ``path`` (torn-final-line tolerant) and summarize it."""
+    return summarize_trace(read_trace(path))

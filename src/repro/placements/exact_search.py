@@ -63,6 +63,7 @@ of re-searching the subtree.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -73,6 +74,8 @@ from repro.errors import ExecutionError, InvalidParameterError, SearchError
 from repro.exec import CheckpointJournal, ExecTask, ResilientExecutor
 from repro.load.formulas import separator_lower_bound
 from repro.load.odr_loads import odr_edge_loads_add_delta
+from repro.obs.console import progress as _progress_line
+from repro.obs.tracer import current_tracer
 from repro.placements.base import Placement
 from repro.placements.symmetry import automorphism_group
 from repro.torus.topology import Torus
@@ -89,6 +92,9 @@ MAX_EXACT_SEARCH = 1_000_000_000
 
 #: split depth for process-pool sharding (subtree roots at this prefix size).
 _SPLIT_DEPTH = 3
+
+#: minimum seconds between progress heartbeats on stderr.
+_HEARTBEAT_SECONDS = 5.0
 
 _TOL = 1e-12
 
@@ -187,11 +193,18 @@ class _SearchContext:
     """Per-process search state: group tables, incumbent, accumulators."""
 
     def __init__(
-        self, torus: Torus, size: int, mode: str, upper_bound: float
+        self,
+        torus: Torus,
+        size: int,
+        mode: str,
+        upper_bound: float,
+        progress: bool = False,
     ):
         self.torus = torus
         self.size = size
         self.mode = mode
+        self.progress = progress
+        self._last_heartbeat = time.monotonic()
         self.group = automorphism_group(torus)
         self.coords = torus.all_node_coords()
         d = torus.d
@@ -213,6 +226,9 @@ class _SearchContext:
         # pruning incumbent: certified upper bound on the global minimum,
         # shared across all roots this context processes.
         self.incumbent = upper_bound
+        # lifetime tallies survive take_partial() so heartbeats stay
+        # cumulative across the many roots one worker processes.
+        self.lifetime = dict.fromkeys(SearchCounters.__dataclass_fields__, 0)
         self._reset_partial()
 
     # ------------------------------------------------------- partial state
@@ -233,6 +249,8 @@ class _SearchContext:
             "orbit_total": self.orbit_total,
             "counters": self.counters,
         }
+        for key, value in self.counters.items():
+            self.lifetime[key] += value
         self._reset_partial()
         return partial
 
@@ -363,6 +381,8 @@ class _SearchContext:
     ) -> None:
         self.counters["leaf_orbits"] += 1
         self.counters["variant_evaluations"] += int(alive.size)
+        if self.progress:
+            self._heartbeat()
         self.orbit_total += self.group.order // stab
         emaxes = loads.max(axis=1)
         # exact per-placement weights: value v occurs
@@ -391,6 +411,29 @@ class _SearchContext:
         if smallest < self.incumbent - _TOL:
             self.incumbent = smallest
 
+    def _heartbeat(self) -> None:
+        """Throttled progress line to stderr (cumulative tallies)."""
+        now = time.monotonic()
+        if now - self._last_heartbeat < _HEARTBEAT_SECONDS:
+            return
+        self._last_heartbeat = now
+
+        def tally(key: str) -> int:
+            return self.lifetime[key] + self.counters[key]
+
+        pruned = tally("subtrees_pruned_emax") + tally(
+            "subtrees_pruned_separator"
+        )
+        incumbent = (
+            "inf" if math.isinf(self.incumbent) else f"{self.incumbent:g}"
+        )
+        _progress_line(
+            f"exact-search T_{self.torus.k}^{self.torus.d} n={self.size}: "
+            f"{tally('leaf_orbits')} leaf orbits, "
+            f"{tally('canonical_nodes')} nodes expanded, "
+            f"{pruned} subtrees pruned, incumbent E_max {incumbent}"
+        )
+
 
 # --------------------------------------------------------- multiprocessing
 
@@ -398,10 +441,17 @@ _WORKER_CTX: _SearchContext | None = None
 
 
 def _init_worker(
-    k: int, d: int, size: int, mode: str, upper_bound: float
+    k: int,
+    d: int,
+    size: int,
+    mode: str,
+    upper_bound: float,
+    progress: bool = False,
 ) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = _SearchContext(Torus(k, d), size, mode, upper_bound)
+    _WORKER_CTX = _SearchContext(
+        Torus(k, d), size, mode, upper_bound, progress=progress
+    )
 
 
 def _run_subtree(root: tuple[int, ...]) -> dict:
@@ -477,6 +527,7 @@ def exact_global_minimum(
     initial_upper_bound: float | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    progress: bool | None = None,
 ) -> ExactSearchResult:
     """Exactly certify the minimum ODR :math:`E_{max}` over all placements.
 
@@ -511,6 +562,10 @@ def exact_global_minimum(
         are merged from their stored partials without re-searching their
         subtrees.  The journal's fingerprint (torus, size, mode,
         incumbent seed) must match this call.
+    progress:
+        Emit throttled heartbeat lines to stderr while searching (leaf
+        orbits, nodes expanded, prunes, incumbent).  ``None`` (default)
+        enables heartbeats exactly when the ambient tracer is enabled.
 
     Raises
     ------
@@ -544,63 +599,82 @@ def exact_global_minimum(
         else math.inf
     )
 
-    context = _SearchContext(torus, size, mode, upper)
+    tracer = current_tracer()
+    if progress is None:
+        progress = bool(tracer.enabled)
+    context = _SearchContext(torus, size, mode, upper, progress=progress)
     histogram: dict[float, int] = {}
     counters = dict.fromkeys(SearchCounters.__dataclass_fields__, 0)
 
     serial = processes is None or processes <= 1
-    if (serial and checkpoint is None) or size < 2:
-        partials = [context.run_root(())]
-    else:
-        depth = min(_SPLIT_DEPTH, size - 1)
-        frontier, shallow = context.collect_frontier(depth)
-        partials = [shallow]
-        if frontier:
-            workers = 1 if serial else min(processes, len(frontier))
-            journal = None
-            if checkpoint is not None:
-                journal = CheckpointJournal(
-                    checkpoint,
-                    fingerprint={
-                        "workload": "exact-search",
-                        "k": torus.k,
-                        "d": torus.d,
-                        "size": size,
-                        "mode": mode,
-                        "upper": upper,
-                        "split_depth": depth,
-                    },
-                    resume=resume,
-                    encode=_encode_partial,
-                    decode=_decode_partial,
+    with tracer.span(
+        "search.certify",
+        k=torus.k,
+        d=torus.d,
+        size=size,
+        mode=mode,
+        space=space,
+    ):
+        if (serial and checkpoint is None) or size < 2:
+            partials = [context.run_root(())]
+        else:
+            depth = min(_SPLIT_DEPTH, size - 1)
+            frontier, shallow = context.collect_frontier(depth)
+            partials = [shallow]
+            if frontier:
+                workers = 1 if serial else min(processes, len(frontier))
+                journal = None
+                if checkpoint is not None:
+                    journal = CheckpointJournal(
+                        checkpoint,
+                        fingerprint={
+                            "workload": "exact-search",
+                            "k": torus.k,
+                            "d": torus.d,
+                            "size": size,
+                            "mode": mode,
+                            "upper": upper,
+                            "split_depth": depth,
+                        },
+                        resume=resume,
+                        encode=_encode_partial,
+                        decode=_decode_partial,
+                    )
+                tasks = [
+                    ExecTask(_root_task_id(root), root) for root in frontier
+                ]
+                executor = ResilientExecutor(
+                    _run_subtree,
+                    jobs=workers,
+                    initializer=_init_worker,
+                    initargs=(torus.k, torus.d, size, mode, upper, progress),
+                    journal=journal,
+                    label=f"exact-search[T_{torus.k}^{torus.d} n={size} {mode}]",
                 )
-            tasks = [
-                ExecTask(_root_task_id(root), root) for root in frontier
-            ]
-            executor = ResilientExecutor(
-                _run_subtree,
-                jobs=workers,
-                initializer=_init_worker,
-                initargs=(torus.k, torus.d, size, mode, upper),
-                journal=journal,
-                label=f"exact-search[T_{torus.k}^{torus.d} n={size} {mode}]",
-            )
-            try:
-                outcome = executor.run(tasks)
-            except ExecutionError as err:
-                raise SearchError(
-                    f"exact search fan-out failed: {err} (backend "
-                    f"'exact_search', {len(frontier)} subtree roots, "
-                    f"{workers} workers)"
-                ) from err
-            finally:
-                if journal is not None:
-                    journal.close()
-            partials.extend(outcome.in_task_order(tasks))
+                try:
+                    outcome = executor.run(tasks)
+                except ExecutionError as err:
+                    raise SearchError(
+                        f"exact search fan-out failed: {err} (backend "
+                        f"'exact_search', {len(frontier)} subtree roots, "
+                        f"{workers} workers)"
+                    ) from err
+                finally:
+                    if journal is not None:
+                        journal.close()
+                partials.extend(outcome.in_task_order(tasks))
 
-    best, best_ids, orbit_total = _merge_partials(
-        partials, histogram, counters
-    )
+        best, best_ids, orbit_total = _merge_partials(
+            partials, histogram, counters
+        )
+
+    if tracer.enabled:
+        metrics = tracer.metrics
+        for key, value in counters.items():
+            metrics.counter(f"search.{key}").add(value)
+        metrics.counter("search.canonical_rejections").add(
+            counters["canonicity_checks"] - counters["canonical_nodes"]
+        )
 
     if best_ids is None:
         raise SearchError(

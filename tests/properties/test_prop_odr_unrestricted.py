@@ -44,7 +44,10 @@ class TestUnrestrictedPaths:
         assert all(path.length == lee for path in paths)
         assert len({path.edge_ids for path in paths}) == len(paths)
 
+    # AllMinimalPaths explodes combinatorially on T_6^3 long displacements;
+    # wall-clock is workload, not a hang, so drop the per-example deadline.
     @given(torus_and_pair())
+    @settings(deadline=None)
     def test_subset_of_all_minimal(self, data):
         torus, p, q = data
         unres = {path.edge_ids for path in UnrestrictedODR().paths(torus, p, q)}

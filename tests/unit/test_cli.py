@@ -127,3 +127,70 @@ class TestAnalyzeMarkdown:
         out = capsys.readouterr().out
         assert out.startswith("# Placement analysis")
         assert "Bisection certificates" in out
+
+
+class TestObservabilityFlags:
+    def test_certify_trace_roundtrip(self, capsys, tmp_path):
+        from repro.obs import read_trace
+
+        path = tmp_path / "out.jsonl"
+        assert main(
+            ["certify", "--k", "3", "--d", "2", "--trace", str(path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"trace written to {path}" in err
+        records = read_trace(path)
+        assert records[0]["label"] == "certify"
+        names = {r.get("name") for r in records if r.get("kind") == "span"}
+        assert "search.certify" in names
+
+    def test_trace_summarize_subcommand(self, capsys, tmp_path):
+        path = tmp_path / "out.jsonl"
+        assert main(
+            ["certify", "--k", "3", "--d", "2", "--trace", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Trace summary — certify")
+        assert "search.certify" in out
+
+    def test_trace_summarize_missing_file_errors(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_flag_writes_dump(self, capsys, tmp_path):
+        out = tmp_path / "analyze.prof"
+        assert main(
+            ["analyze", "--k", "4", "--d", "2",
+             "--profile", "pstats", "--profile-out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert "profile (pstats) written" in capsys.readouterr().err
+
+    def test_profile_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--k", "4", "--d", "2", "--profile", "perf"]
+            )
+
+    def test_quiet_silences_stderr_but_not_results(self, capsys):
+        assert main(["--quiet", "analyze", "--k", "6", "--d", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "bounds hold     : True" in captured.out
+        assert captured.err == ""
+
+    def test_certify_progress_emits_heartbeat_lines(self, capsys):
+        import repro.placements.exact_search as es
+
+        previous = es._HEARTBEAT_SECONDS
+        es._HEARTBEAT_SECONDS = 0.0
+        try:
+            assert main(
+                ["certify", "--k", "3", "--d", "2", "--progress"]
+            ) == 0
+        finally:
+            es._HEARTBEAT_SECONDS = previous
+        err = capsys.readouterr().err
+        assert "exact-search T_3^2" in err
+        assert "nodes expanded" in err

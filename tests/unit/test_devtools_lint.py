@@ -1,4 +1,4 @@
-"""Tests for the repro.devtools.lint framework and rule set RL001-RL009.
+"""Tests for the repro.devtools.lint framework and rule set RL001-RL010.
 
 Every rule gets one failing and one passing fixture snippet; the
 framework-level tests cover suppressions, reporters, the runner CLI, and
@@ -486,6 +486,101 @@ class TestRL009DirectPoolConstruction:
         assert "RL009" not in _codes(findings)
 
 
+# ------------------------------------------------------------------ RL010
+
+
+class TestRL010WallClockOrPrint:
+    def test_flags_time_time_call(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "import time\ndef f():\n    return time.time()\n",
+        )
+        assert "RL010" in _codes(findings)
+
+    def test_flags_time_time_reference(self, tmp_path):
+        # the ExecutionReport.started_at bug class: a bare reference used
+        # as a default_factory, never syntactically called
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "import time\n"
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class R:\n"
+            "    started: float = field(default_factory=time.time)\n",
+        )
+        assert "RL010" in _codes(findings)
+
+    def test_flags_from_time_import_time(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "from time import time as now\ndef f():\n    return now()\n",
+        )
+        assert "RL010" in _codes(findings)
+
+    def test_flags_bare_print(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def f(x):\n    print(x)\n    return x\n",
+        )
+        assert "RL010" in _codes(findings)
+
+    def test_monotonic_clocks_pass(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "import time\n"
+            "def f():\n"
+            "    return time.perf_counter() - time.monotonic()\n",
+        )
+        assert "RL010" not in _codes(findings)
+
+    def test_cli_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/cli.py",
+            "import time\ndef f():\n    print(time.time())\n",
+        )
+        assert "RL010" not in _codes(findings)
+
+    def test_devtools_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/devtools/lint/mod.py",
+            "def f(x):\n    print(x)\n",
+        )
+        assert "RL010" not in _codes(findings)
+
+    def test_console_module_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/obs/console.py",
+            "import time\ndef wall_clock():\n    return time.time()\n",
+        )
+        assert "RL010" not in _codes(findings)
+
+    def test_tests_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "tests/test_mod.py",
+            "import time\ndef test_now():\n    print(time.time())\n",
+        )
+        assert "RL010" not in _codes(findings)
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # repro: noqa(RL010)\n",
+        )
+        assert "RL010" not in _codes(findings)
+
+
 # ------------------------------------------------------ framework behaviour
 
 
@@ -535,9 +630,9 @@ class TestSuppressions:
 
 
 class TestFramework:
-    def test_registry_has_the_nine_rules(self):
+    def test_registry_has_the_ten_rules(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"RL00{i}" for i in range(1, 10)]
+        assert codes == [f"RL00{i}" for i in range(1, 10)] + ["RL010"]
 
     def test_syntax_error_reported_as_rl000(self, tmp_path):
         findings = _lint_snippet(tmp_path, "repro/mod.py", "def f(:\n")

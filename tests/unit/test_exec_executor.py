@@ -16,6 +16,7 @@ from repro.exec import (
     CheckpointJournal,
     ExecPolicy,
     ExecTask,
+    ExecutionReport,
     ResilientExecutor,
 )
 
@@ -303,3 +304,23 @@ class TestReportShape:
     def test_repr(self):
         executor = ResilientExecutor(_square, jobs=3, policy=FAST, label="x")
         assert "label='x'" in repr(executor) and "jobs=3" in repr(executor)
+
+
+class TestReportClocks:
+    def test_durations_are_monotonic_not_wall_clock(self):
+        import time as _time
+
+        report = ExecutionReport(label="clocks", tasks=0)
+        _time.sleep(0.01)
+        report.finish()
+        assert report.elapsed_seconds >= 0.01
+        # informational wall-clock stamp rides along but never times
+        assert report.started_unix > 1e9
+        assert report.to_dict()["started_at_unix"] == report.started_unix
+
+    def test_run_finishes_the_report(self):
+        outcome = ResilientExecutor(_square, jobs=1, policy=FAST).run(
+            _tasks(2)
+        )
+        assert outcome.report.elapsed_seconds > 0.0
+        assert outcome.report.summary().endswith("s")

@@ -90,3 +90,45 @@ class TestCheckpointResume:
         run_all(quick=True, checkpoint=str(path))
         with pytest.raises(ExecutionError, match="fingerprint"):
             run_all(quick=False, checkpoint=str(path), resume=True)
+
+
+class TestSuiteTiming:
+    def test_run_all_stamps_elapsed_seconds(self, synthetic_registry):
+        results = run_all()
+        for result in results.values():
+            assert result.elapsed_seconds is not None
+            assert result.elapsed_seconds >= 0.0
+
+    def test_render_includes_the_timing_table(self, synthetic_registry):
+        text = render_results(run_all())
+        assert "Suite timing" in text
+        assert "total" in text
+
+    def test_untimed_results_render_without_the_table(self):
+        result = base.ExperimentResult("EXP-2", "handmade", passed=True)
+        text = render_results({"EXP-2": result})
+        assert "Suite timing" not in text
+
+    def test_elapsed_survives_the_checkpoint_round_trip(
+        self, synthetic_registry, tmp_path
+    ):
+        path = tmp_path / "suite.jsonl"
+        first = run_all(checkpoint=str(path))
+        second = run_all(checkpoint=str(path), resume=True)
+        for exp_id, result in first.items():
+            assert second[exp_id].elapsed_seconds == result.elapsed_seconds
+
+    def test_traced_suite_emits_experiment_spans(self, synthetic_registry):
+        from repro.obs import Tracer, using_tracer
+
+        tracer = Tracer()
+        with using_tracer(tracer):
+            run_all()
+        spans = {span.name: span for span in tracer.finished}
+        assert set(spans) == {"experiment.run"}
+        crashed = [
+            span
+            for span in tracer.finished
+            if span.attributes.get("crashed") == "RuntimeError"
+        ]
+        assert len(crashed) == 1

@@ -1,0 +1,56 @@
+"""Tests for repro.obs.profiling — cProfile dumps and collapsed stacks."""
+
+from __future__ import annotations
+
+import pstats
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import PROFILE_MODES, profiling
+
+
+def _busy_work():
+    return sum(i * i for i in range(2000))
+
+
+class TestProfilingContext:
+    def test_mode_none_is_a_transparent_noop(self, tmp_path):
+        with profiling(None, out=tmp_path / "never.prof") as profile:
+            assert profile is None
+        assert not (tmp_path / "never.prof").exists()
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(InvalidParameterError, match="profile mode"):
+            with profiling("perf"):
+                pass
+
+    def test_pstats_dump_is_loadable(self, tmp_path, capsys):
+        out = tmp_path / "run.prof"
+        with profiling("pstats", out=out):
+            _busy_work()
+        assert out.exists()
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+        assert "profile (pstats) written" in capsys.readouterr().err
+
+    def test_flamegraph_writes_collapsed_lines(self, tmp_path):
+        out = tmp_path / "run.folded"
+        with profiling("flamegraph", out=out):
+            _busy_work()
+        lines = out.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack
+            assert int(value) > 0
+        assert lines == sorted(lines)  # deterministic ordering
+
+    def test_default_path_uses_label_and_suffix(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with profiling("pstats", label="certify"):
+            _busy_work()
+        assert (tmp_path / "certify.prof").exists()
+
+    def test_modes_registry(self):
+        assert PROFILE_MODES == {"pstats": ".prof", "flamegraph": ".folded"}

@@ -1,0 +1,102 @@
+"""Tests for repro.obs.summary — trace rendering."""
+
+from __future__ import annotations
+
+from repro.obs import JsonlTraceSink, Tracer, summarize_path, summarize_trace
+
+
+def _records():
+    return [
+        {"kind": "header", "version": 1, "label": "certify", "pid": 7},
+        {
+            "kind": "span",
+            "name": "search.certify",
+            "parent": None,
+            "duration_seconds": 2.0,
+            "status": "ok",
+        },
+        {
+            "kind": "span",
+            "name": "exec.task",
+            "parent": "root",
+            "duration_seconds": 0.5,
+            "status": "ok",
+        },
+        {
+            "kind": "span",
+            "name": "exec.task",
+            "parent": "root",
+            "duration_seconds": 1.5,
+            "status": "error",
+        },
+        {"kind": "event", "name": "exec.retry"},
+        {"kind": "event", "name": "exec.retry"},
+        {"kind": "event", "name": "exec.timeout"},
+        {
+            "kind": "metrics",
+            "values": {
+                "counters": {"search.leaves": 10.0},
+                "gauges": {"engine.pairs_per_sec": 123.0},
+                "histograms": {
+                    "exec.task_seconds": {
+                        "count": 2,
+                        "total": 2.0,
+                        "min": 0.5,
+                        "max": 1.5,
+                        "buckets": {"0": 2},
+                    }
+                },
+            },
+        },
+    ]
+
+
+class TestSummarizeTrace:
+    def test_header_and_counts_line(self):
+        text = summarize_trace(_records())
+        assert text.startswith("# Trace summary — certify")
+        assert "3 spans, 3 events, 8 records" in text
+
+    def test_span_table_aggregates_by_name(self):
+        text = summarize_trace(_records())
+        # exec.task: two spans totalling 2.0s, one error; root defines 100%
+        assert "exec.task" in text
+        assert "search.certify" in text
+        assert "100.0" in text  # root span share of its own wall time
+
+    def test_event_counts(self):
+        text = summarize_trace(_records())
+        assert "exec.retry" in text and "exec.timeout" in text
+
+    def test_metric_tables_render_final_snapshot(self):
+        text = summarize_trace(_records())
+        assert "search.leaves" in text
+        assert "engine.pairs_per_sec" in text
+        assert "exec.task_seconds" in text
+
+    def test_spanless_trace_still_renders(self):
+        text = summarize_trace([{"kind": "header", "version": 1, "pid": 1}])
+        assert "0 spans, 0 events" in text
+
+    def test_last_metrics_record_wins(self):
+        records = _records() + [
+            {"kind": "metrics", "values": {"counters": {"final": 1.0}}}
+        ]
+        text = summarize_trace(records)
+        assert "final" in text
+        assert "search.leaves" not in text
+
+
+class TestSummarizePath:
+    def test_end_to_end_from_disk(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=JsonlTraceSink(path, label="e2e"), label="e2e")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("tick")
+        tracer.metrics.counter("ticks").add(1)
+        tracer.finish()
+        text = summarize_path(path)
+        assert "# Trace summary — e2e" in text
+        assert "outer" in text and "inner" in text and "tick" in text
+        assert "ticks" in text
