@@ -231,7 +231,7 @@ def _add_torus_args(parser: argparse.ArgumentParser) -> None:
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        choices=["auto", "reference", "vectorized", "displacement", "parallel"],
+        choices=["auto", "reference", "vectorized", "fft", "displacement", "parallel"],
         default="auto",
         help="load-computation backend (default auto)",
     )
@@ -580,16 +580,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
-    from repro.load.odr_loads import odr_edge_loads
+    from repro.load.engine import LoadEngine
     from repro.placements.exact_search import exact_global_minimum
     from repro.placements.linear import linear_placement
+    from repro.routing.odr import OrderedDimensionalRouting
     from repro.torus.topology import Torus
 
     torus = Torus(args.k, args.d)
     size = args.size if args.size is not None else args.k ** (args.d - 1)
     upper = args.ub
     if upper is None and args.mode == "bound" and size == args.k ** (args.d - 1):
-        upper = float(odr_edge_loads(linear_placement(torus)).max())
+        upper = LoadEngine("fft").emax(
+            linear_placement(torus), OrderedDimensionalRouting(args.d)
+        )
         print(f"incumbent seed  : linear placement E_max = {upper:g}")
     with _obs_context(args), _exec_context(args):
         result = exact_global_minimum(

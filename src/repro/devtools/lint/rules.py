@@ -54,6 +54,7 @@ _ENGINE_INTERNALS = frozenset(
         "edge_loads_reference",
         "ReferenceBackend",
         "VectorizedBackend",
+        "FFTBackend",
         "DisplacementBackend",
         "ParallelBackend",
     }

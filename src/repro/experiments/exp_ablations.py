@@ -30,6 +30,7 @@ from repro.load.odr_loads import odr_edge_loads
 from repro.placements.catalog import global_minimum_emax
 from repro.placements.exact_search import exact_global_minimum
 from repro.placements.linear import linear_placement
+from repro.routing.odr import OrderedDimensionalRouting
 from repro.routing.odr_unrestricted import UnrestrictedODR
 from repro.torus.topology import Torus
 from repro.util.tables import Table
@@ -111,7 +112,9 @@ def run_global_optimality(quick: bool = False) -> ExperimentResult:
     )
     for k in ks:
         torus = Torus(k, 2)
-        linear_emax = float(odr_edge_loads(linear_placement(torus)).max())
+        linear_emax = LoadEngine("fft").emax(
+            linear_placement(torus), OrderedDimensionalRouting(2)
+        )
         certified = exact_global_minimum(
             torus, k, mode="bound", initial_upper_bound=linear_emax
         )

@@ -19,8 +19,10 @@ computes it three ways:
   UDR via the permutation-counting identity, plus a Monte-Carlo estimator;
 * :mod:`repro.load.engine` — the :class:`~repro.load.engine.LoadEngine`
   facade unifying the above behind pluggable backends, adding a
-  displacement-class path cache and a process-parallel pair-sharding
-  backend;
+  displacement-class path cache, an FFT circular-correlation backend
+  (all edges in one spectral pass, exact via the
+  :mod:`repro.load.quantize` snap-back), and a process-parallel
+  pair-sharding backend;
 
 and provides every closed form and lower bound the paper states
 (:mod:`repro.load.formulas`, :mod:`repro.load.bounds`), traffic patterns
@@ -34,7 +36,7 @@ from repro.load.udr_loads import udr_edge_loads, udr_sampled_edge_loads
 from repro.load import engine
 from repro.load.engine import LoadEngine
 from repro.load.report import LoadReport, load_report
-from repro.load import formulas, bounds
+from repro.load import formulas, bounds, quantize
 from repro.load.traffic import (
     complete_exchange_weights,
     permutation_traffic_weights,
@@ -53,6 +55,7 @@ __all__ = [
     "load_report",
     "formulas",
     "bounds",
+    "quantize",
     "complete_exchange_weights",
     "permutation_traffic_weights",
     "hotspot_traffic_weights",

@@ -5,6 +5,14 @@ EXP-7's key finding — the paper's Section 6.1 closed forms describe
 dimensions — came from exactly the decomposition this module provides.  It
 also offers the imbalance statistics (peak-to-mean, Jain fairness) used to
 compare how evenly ODR vs UDR spread the same traffic.
+
+Empty-selection convention
+--------------------------
+Every max-style reducer here treats an *empty* edge selection as carrying
+zero load and returns ``0.0`` (``numpy``'s ``initial=0.0``), never raising.
+Selections become empty in practice when an ``edge_mask`` filters out a
+whole dimension or direction — e.g. the surviving-edge view of a
+fault-masked routing where one dimension's links are all failed.
 """
 
 from __future__ import annotations
@@ -33,28 +41,70 @@ def _decode_dims_signs(torus: Torus) -> tuple[np.ndarray, np.ndarray]:
     return dims, signs
 
 
-def per_dimension_max(torus: Torus, loads: np.ndarray) -> np.ndarray:
-    """Maximum load over the edges of each dimension, shape ``(d,)``."""
+def _resolve_edge_mask(
+    torus: Torus, edge_mask: np.ndarray | None
+) -> np.ndarray | None:
+    if edge_mask is None:
+        return None
+    edge_mask = np.asarray(edge_mask, dtype=bool)
+    if edge_mask.shape != (torus.num_edges,):
+        raise ValueError(
+            f"edge_mask must have shape ({torus.num_edges},), "
+            f"got {edge_mask.shape}"
+        )
+    return edge_mask
+
+
+def per_dimension_max(
+    torus: Torus, loads: np.ndarray, edge_mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Maximum load over the edges of each dimension, shape ``(d,)``.
+
+    ``edge_mask`` optionally restricts the view to a subset of edges
+    (e.g. the surviving links of a fault mask); a dimension whose
+    selection is empty reports ``0.0`` per the module convention.
+    """
     dims, _ = _decode_dims_signs(torus)
+    mask = _resolve_edge_mask(torus, edge_mask)
+    sels = [dims == s if mask is None else (dims == s) & mask
+            for s in range(torus.d)]
     return np.array(
-        [float(loads[dims == s].max()) for s in range(torus.d)], dtype=np.float64
+        [float(loads[sel].max(initial=0.0)) for sel in sels], dtype=np.float64
     )
 
 
-def per_dimension_total(torus: Torus, loads: np.ndarray) -> np.ndarray:
-    """Total load carried by each dimension's edges, shape ``(d,)``."""
+def per_dimension_total(
+    torus: Torus, loads: np.ndarray, edge_mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Total load carried by each dimension's edges, shape ``(d,)``.
+
+    ``edge_mask`` restricts the view like in :func:`per_dimension_max`;
+    an empty selection totals ``0.0``.
+    """
     dims, _ = _decode_dims_signs(torus)
+    mask = _resolve_edge_mask(torus, edge_mask)
+    sels = [dims == s if mask is None else (dims == s) & mask
+            for s in range(torus.d)]
     return np.array(
-        [float(loads[dims == s].sum()) for s in range(torus.d)], dtype=np.float64
+        [float(loads[sel].sum()) for sel in sels], dtype=np.float64
     )
 
 
-def per_sign_max(torus: Torus, loads: np.ndarray) -> tuple[float, float]:
-    """Maximum load over (+)-direction and (−)-direction edges."""
+def per_sign_max(
+    torus: Torus, loads: np.ndarray, edge_mask: np.ndarray | None = None
+) -> tuple[float, float]:
+    """Maximum load over (+)-direction and (−)-direction edges.
+
+    Empty selections (all edges of a direction masked out) report
+    ``0.0`` per the module convention.
+    """
     _, signs = _decode_dims_signs(torus)
+    mask = _resolve_edge_mask(torus, edge_mask)
+    plus = signs > 0 if mask is None else (signs > 0) & mask
+    minus = signs < 0 if mask is None else (signs < 0) & mask
     return (
-        float(loads[signs > 0].max(initial=0.0)),
-        float(loads[signs < 0].max(initial=0.0)),
+        float(loads[plus].max(initial=0.0)),
+        float(loads[minus].max(initial=0.0)),
     )
 
 

@@ -5,16 +5,21 @@ placement under a routing algorithm — evaluated at very different scales:
 tiny oracle cross-checks, ``k``-sweeps of closed-form kernels, and bulk
 :math:`|P|^2` pair accounting for the large tori the ROADMAP targets.
 This subpackage gives that primitive one facade
-(:class:`~repro.load.engine.facade.LoadEngine`) over four interchangeable
-backends (``reference``, ``vectorized``, ``displacement``, ``parallel``),
-all verified to agree with the reference oracle to ``1e-9``.
+(:class:`~repro.load.engine.facade.LoadEngine`) over five interchangeable
+backends (``reference``, ``vectorized``, ``fft``, ``displacement``,
+``parallel``), all verified to agree with the reference oracle to
+``1e-9``.
 
-The new machinery here is the displacement-class path cache
+The core machinery is the displacement-class path cache
 (:mod:`repro.load.engine.displacement`): :math:`T_k^d` is
 vertex-transitive, so for translation-invariant routings the path set of
 a pair depends only on its displacement ``(q - p) mod k``, and one
 canonical template per displacement class replaces per-pair path
-enumeration.  The ``parallel`` backend shards the pair matrix over a
+enumeration.  The ``fft`` backend (:mod:`repro.load.engine.fft`) pushes
+that symmetry to its limit: loads are a group convolution of
+per-displacement source fields with the path-usage templates, evaluated
+for every edge at once by ``numpy.fft.rfftn`` with an exact integer
+snap-back.  The ``parallel`` backend shards the pair matrix over a
 process pool with one template cache per worker.
 """
 
@@ -26,6 +31,7 @@ from repro.load.engine.displacement import (
     accumulate_displacement_loads,
     displacement_edge_loads,
 )
+from repro.load.engine.fft import FFTBackend, fft_edge_loads
 from repro.load.engine.facade import (
     LoadEngine,
     available_backends,
@@ -44,11 +50,13 @@ __all__ = [
     "LoadBackend",
     "ReferenceBackend",
     "VectorizedBackend",
+    "FFTBackend",
     "DisplacementBackend",
     "ParallelBackend",
     "DisplacementPathCache",
     "PathTemplate",
     "displacement_edge_loads",
+    "fft_edge_loads",
     "parallel_edge_loads",
     "accumulate_displacement_loads",
     "validate_pair_weights",

@@ -34,6 +34,7 @@ from repro.load.engine.base import LoadBackend, validate_pair_weights
 from repro.placements.base import Placement
 from repro.routing.base import RoutingAlgorithm
 from repro.torus.topology import Torus
+from repro.util.itertools_ext import ordered_pair_index_arrays
 
 __all__ = [
     "PathTemplate",
@@ -230,10 +231,7 @@ def displacement_edge_loads(
     coords = placement.coords()
     m = coords.shape[0]
     pair_weights = validate_pair_weights(pair_weights, m)
-    idx = np.arange(m)
-    pi, qi = np.meshgrid(idx, idx, indexing="ij")
-    keep = pi != qi
-    pi, qi = pi[keep], qi[keep]
+    pi, qi = ordered_pair_index_arrays(m)
     weights = None if pair_weights is None else pair_weights[pi, qi]
     loads = np.zeros(torus.num_edges, dtype=np.float64)
     accumulate_displacement_loads(

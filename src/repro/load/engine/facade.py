@@ -15,12 +15,16 @@ Backends by name:
 ``displacement``
     The displacement-class template cache; any translation-invariant
     routing, weighted traffic included.
+``fft``
+    Spectral circular correlation over :math:`Z_k^d` with integer
+    snap-back; any translation-invariant routing, all edges in one
+    ``rfftn`` pass.
 ``parallel``
     The pair matrix sharded over a process pool (displacement templates
     inside each worker where applicable).
 ``auto``
     Pick the fastest applicable serial backend per call:
-    vectorized → displacement → reference.
+    vectorized → fft → displacement → reference.
 
 A process-wide *default engine* (``auto`` unless overridden) backs
 :func:`repro.core.analysis.compute_loads` and the experiment runner; the
@@ -38,6 +42,7 @@ from repro.errors import EngineError
 from repro.load.engine.base import LoadBackend
 from repro.obs.tracer import current_tracer
 from repro.load.engine.displacement import DisplacementBackend
+from repro.load.engine.fft import FFTBackend
 from repro.load.engine.parallel import DEFAULT_CHUNK_PAIRS, ParallelBackend
 from repro.load.engine.reference import ReferenceBackend
 from repro.load.engine.vectorized import VectorizedBackend
@@ -55,9 +60,9 @@ __all__ = [
 ]
 
 #: the serial preference order the ``auto`` engine tries per call.
-_AUTO_ORDER = ("vectorized", "displacement", "reference")
+_AUTO_ORDER = ("vectorized", "fft", "displacement", "reference")
 
-_BACKEND_NAMES = ("reference", "vectorized", "displacement", "parallel")
+_BACKEND_NAMES = ("reference", "vectorized", "fft", "displacement", "parallel")
 
 
 def available_backends() -> tuple[str, ...]:
@@ -104,6 +109,8 @@ class LoadEngine:
                 backend = ReferenceBackend()
             elif name == "vectorized":
                 backend = VectorizedBackend()
+            elif name == "fft":
+                backend = FFTBackend()
             elif name == "displacement":
                 backend = DisplacementBackend()
             elif name == "parallel":
@@ -259,6 +266,18 @@ def cross_check(
     Returns ``{backend_name: max_abs_diff}`` for the backends that
     support the configuration; raises :class:`~repro.errors.EngineError`
     if any deviates from the oracle by more than ``atol``.
+
+    Tolerance policy (the explicit contract behind ``atol``): exact
+    loads are rationals on the grid :mod:`repro.load.quantize` describes
+    (multiples of ``1/Q``, e.g. integers for dimension-order routings and
+    multiples of ``1/d!`` for UDR).  The oracle approximates them by
+    float summation and the FFT backend recovers them by integer
+    snap-back, so agreeing backends may differ by accumulated float error
+    but never by a representable fraction of a quantum — the default
+    ``atol`` of 1e-9 sits far below the smallest practical quantum and
+    far above double-precision summation noise.  For *bit*-identity
+    checks, canonicalize both sides with
+    :func:`repro.load.quantize.snap_loads` first.
     """
     names = tuple(backends) if backends is not None else _BACKEND_NAMES
     oracle = ReferenceBackend().compute(placement, routing, pair_weights)

@@ -33,6 +33,7 @@ import math
 import numpy as np
 
 from repro.placements.base import Placement
+from repro.util.itertools_ext import ordered_pair_index_arrays
 from repro.util.modular import minimal_correction_array
 from repro.util.rng import resolve_rng
 
@@ -40,13 +41,15 @@ __all__ = ["udr_edge_loads", "udr_sampled_edge_loads"]
 
 
 def _pair_arrays(placement: Placement):
-    """All ordered distinct pairs of placement coordinates."""
+    """All ordered distinct pairs of placement coordinates.
+
+    Pair order matches the historical masked-meshgrid construction
+    bit-for-bit, but the index arithmetic never materializes the two
+    ``m×m`` scratch matrices that construction allocated.
+    """
     coords = placement.coords()
-    m = coords.shape[0]
-    idx = np.arange(m)
-    pi, qi = np.meshgrid(idx, idx, indexing="ij")
-    keep = pi != qi
-    return coords[pi[keep]], coords[qi[keep]]
+    pi, qi = ordered_pair_index_arrays(coords.shape[0])
+    return coords[pi], coords[qi]
 
 
 def udr_edge_loads(placement: Placement) -> np.ndarray:

@@ -1,0 +1,87 @@
+"""Property: the FFT backend's integer snap-back is a rounding, not a fix.
+
+The :mod:`repro.load.quantize` contract says the spectral accumulation
+lands so close to the exact rational grid that snapping moves every value
+by strictly less than :data:`~repro.load.quantize.LOAD_SNAP_TOLERANCE`.
+Hypothesis drives random placements, routings, and integer traffic
+through the backend and checks the observed drift never approaches the
+tolerance — and that the snapped result is the oracle's value exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load.edge_loads import edge_loads_reference
+from repro.load.engine import FFTBackend
+from repro.load.quantize import (
+    LOAD_SNAP_TOLERANCE,
+    routing_load_quantum,
+    snap_loads,
+)
+from repro.placements.base import Placement
+from repro.routing.minimal import AllMinimalPaths
+from repro.routing.odr import OrderedDimensionalRouting
+from repro.routing.odr_unrestricted import UnrestrictedODR
+from repro.routing.udr import UnorderedDimensionalRouting
+from repro.torus.topology import Torus
+
+
+@st.composite
+def fft_case(draw):
+    k = draw(st.integers(min_value=2, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=3))
+    torus = Torus(k, d)
+    size = draw(st.integers(min_value=2, max_value=min(7, torus.num_nodes)))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=torus.num_nodes - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    placement = Placement(torus, ids, name="hypothesis")
+    routing = draw(
+        st.sampled_from(
+            [
+                OrderedDimensionalRouting(d),
+                UnorderedDimensionalRouting(),
+                UnrestrictedODR(),
+                AllMinimalPaths(),
+            ]
+        )
+    )
+    weighted = draw(st.booleans())
+    if weighted:
+        cells = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=5),
+                min_size=size * size,
+                max_size=size * size,
+            )
+        )
+        weights = np.array(cells, dtype=np.float64).reshape(size, size)
+        np.fill_diagonal(weights, 0.0)
+    else:
+        weights = None
+    return placement, routing, weights
+
+
+@given(fft_case())
+@settings(max_examples=60, deadline=None)
+def test_snap_never_moves_a_value_near_tolerance(case):
+    placement, routing, weights = case
+    backend = FFTBackend()
+    got = backend.compute(placement, routing, pair_weights=weights)
+    # the drift the snap-back applied is far below the failure threshold
+    assert backend.last_snap_drift < LOAD_SNAP_TOLERANCE
+    assert backend.last_snap_drift < 1e-6
+    oracle = edge_loads_reference(placement, routing, weights)
+    quantum = routing_load_quantum(routing, placement.torus.d)
+    if quantum is not None:
+        assert np.array_equal(
+            snap_loads(got, quantum), snap_loads(oracle, quantum)
+        )
+    else:
+        assert np.abs(got - oracle).max(initial=0.0) <= 1e-9

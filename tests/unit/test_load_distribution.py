@@ -92,3 +92,51 @@ class TestValidation:
         torus = Torus(4, 2)
         with pytest.raises(ValueError):
             load_distribution(torus, np.zeros(3))
+
+
+class TestEdgeMask:
+    def test_masked_views_match_manual_selection(self):
+        torus = Torus(4, 2)
+        loads = odr_edge_loads(linear_placement(torus))
+        rng = np.random.default_rng(3)
+        mask = rng.random(torus.num_edges) < 0.5
+        masked_loads = np.where(mask, loads, 0.0)
+        assert np.array_equal(
+            per_dimension_max(torus, loads, edge_mask=mask),
+            per_dimension_max(torus, masked_loads),
+        )
+        assert per_dimension_total(torus, loads, edge_mask=mask).sum() == (
+            pytest.approx(loads[mask].sum())
+        )
+
+    def test_empty_selection_returns_zero(self):
+        # regression: an edge_mask wiping out a whole dimension (or every
+        # edge) must yield 0.0 per the module convention, never raise the
+        # numpy "zero-size array reduction" error.
+        torus = Torus(4, 2)
+        loads = odr_edge_loads(linear_placement(torus))
+        none = np.zeros(torus.num_edges, dtype=bool)
+        assert np.array_equal(
+            per_dimension_max(torus, loads, edge_mask=none), np.zeros(2)
+        )
+        assert np.array_equal(
+            per_dimension_total(torus, loads, edge_mask=none), np.zeros(2)
+        )
+        assert per_sign_max(torus, loads, edge_mask=none) == (0.0, 0.0)
+
+    def test_one_dimension_masked_out(self):
+        torus = Torus(4, 2)
+        loads = odr_edge_loads(linear_placement(torus))
+        dims = np.repeat(
+            np.arange(torus.num_edges) // 2 % torus.d, 1
+        )
+        keep_dim0 = dims == 0
+        per_dim = per_dimension_max(torus, loads, edge_mask=keep_dim0)
+        assert per_dim[1] == 0.0
+        assert per_dim[0] == loads[keep_dim0].max(initial=0.0)
+
+    def test_bad_mask_shape_rejected(self):
+        torus = Torus(4, 2)
+        loads = odr_edge_loads(linear_placement(torus))
+        with pytest.raises(ValueError):
+            per_dimension_max(torus, loads, edge_mask=np.ones(3, dtype=bool))

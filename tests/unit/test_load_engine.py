@@ -6,8 +6,8 @@ import pytest
 from repro.errors import EngineError, LoadError
 from repro.load.edge_loads import edge_loads_reference
 from repro.load.engine import (
-    DisplacementBackend,
     DisplacementPathCache,
+    FFTBackend,
     LoadEngine,
     ParallelBackend,
     ReferenceBackend,
@@ -64,7 +64,7 @@ class TestBackendAgreement:
         routing = OrderedDimensionalRouting(2)
         w = hotspot_traffic_weights(len(linear_4_2), hotspot_index=1, background=0.5)
         oracle = edge_loads_reference(linear_4_2, routing, w)
-        for name in ("vectorized", "displacement", "parallel"):
+        for name in ("vectorized", "fft", "displacement", "parallel"):
             engine = LoadEngine(name, jobs=2)
             loads = engine.edge_loads(linear_4_2, routing, pair_weights=w)
             assert np.abs(loads - oracle).max() <= ATOL, name
@@ -82,10 +82,10 @@ class TestAutoDispatch:
         backend = engine.backend_for(linear_4_2, OrderedDimensionalRouting(2))
         assert isinstance(backend, VectorizedBackend)
 
-    def test_auto_picks_displacement_for_unrestricted(self, linear_4_2):
+    def test_auto_picks_fft_for_unrestricted(self, linear_4_2):
         engine = LoadEngine("auto")
         backend = engine.backend_for(linear_4_2, UnrestrictedODR())
-        assert isinstance(backend, DisplacementBackend)
+        assert isinstance(backend, FFTBackend)
 
     def test_auto_falls_back_to_reference_for_faults(self, linear_4_2):
         engine = LoadEngine("auto")
@@ -94,12 +94,12 @@ class TestAutoDispatch:
             engine.backend_for(linear_4_2, masked), ReferenceBackend
         )
 
-    def test_auto_udr_weighted_uses_displacement(self, linear_4_2):
+    def test_auto_udr_weighted_uses_fft(self, linear_4_2):
         engine = LoadEngine("auto")
         routing = UnorderedDimensionalRouting()
         w = np.ones((len(linear_4_2), len(linear_4_2)))
         assert isinstance(
-            engine.backend_for(linear_4_2, routing, w), DisplacementBackend
+            engine.backend_for(linear_4_2, routing, w), FFTBackend
         )
         # and the numbers still match the oracle
         np.fill_diagonal(w, 0.0)
@@ -248,6 +248,7 @@ class TestDefaultEngine:
             "auto",
             "reference",
             "vectorized",
+            "fft",
             "displacement",
             "parallel",
         }
