@@ -1,0 +1,177 @@
+"""Benchmark the semantic lint engine and pin its deterministic facts.
+
+Two kinds of checks, mirroring ``bench_engines.py``'s split:
+
+* **throughput** (informational, machine-dependent) — wall-clock of a
+  whole-``src`` lint run and of a synthetic corpus; recorded in
+  ``benchmarks/BENCH_lint.json`` as ``files_per_sec`` for trend-spotting
+  but never asserted;
+* **exactness pins** (asserted live against the committed baseline) —
+  the rule catalogue, the self-lint cleanliness of ``src``, and the
+  exact per-code finding counts on a deterministic synthetic corpus.
+  The corpus exercises the resolver (aliased imports), the taint pass
+  (RL012/RL013 flows), and the scope analysis (RL014), so a regression
+  in any semantic layer shifts a pinned count.
+
+CI runs this file as part of the bench-smoke job with one quick round:
+the pins always execute, the timing stats are not interpreted.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.devtools.lint import all_rules, lint_paths
+from repro.devtools.lint.autofix import fix_paths
+
+BASELINE = pathlib.Path(__file__).with_name("BENCH_lint.json")
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+#: synthetic corpus size — large enough that per-file noise averages
+#: out, small enough that the smoke run stays in single-digit seconds.
+CORPUS_FILES = 24
+
+#: one synthetic module; every violation below is pinned in the
+#: baseline's ``per_file`` map (the linter must find exactly these).
+_CORPUS_TEMPLATE = '''\
+"""Synthetic lint workload #{index}."""
+
+import os
+import sys
+import numpy as np
+from collections import deque
+
+
+def my_edge_loads(pairs, paths):
+    loads = {{}}
+    for pair in pairs:
+        loads[pair] = 1.0 / len(paths)
+    return loads
+
+
+def shuffle_candidates(items, seed):
+    rng = np.random.default_rng(seed)
+    rng.shuffle(items)
+    return items
+
+
+def record_listing(journal, task_id, root):
+    acc = []
+    for name in set(os.listdir(root)):
+        acc.append(name)
+    journal.record(task_id, acc)
+
+
+def open_span(tracer, n):
+    span = tracer.span("work_{index}", n=n)
+    return span
+
+
+def stage(queue=deque()):
+    return queue
+'''
+
+
+def _expected_per_file() -> dict[str, int]:
+    """Per-code findings each synthetic module must produce."""
+    return {
+        "RL002": 1,  # unguarded 1.0/len division inside repro.load
+        "RL006": 1,  # `sys` unused
+        "RL007": 1,  # deque() default
+        "RL011": 1,  # default_rng (rng.shuffle's receiver is a call
+        #              result, deliberately beyond the resolver)
+        "RL012": 1,  # set(os.listdir) -> journal.record
+        "RL013": 1,  # unsnapped 1.0/len reaching the return
+        "RL015": 1,  # span stored, never entered
+    }
+
+
+def _write_corpus(root: pathlib.Path) -> pathlib.Path:
+    pkg = root / "repro" / "load"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for index in range(CORPUS_FILES):
+        target = pkg / f"synthetic_{index:03d}.py"
+        target.write_text(
+            _CORPUS_TEMPLATE.format(index=index), encoding="utf-8"
+        )
+    return root
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    return json.loads(BASELINE.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory) -> pathlib.Path:
+    return _write_corpus(tmp_path_factory.mktemp("lint_corpus"))
+
+
+# ---------------------------------------------------------------- pins
+
+
+def test_rule_catalogue_pinned(baseline):
+    codes = [rule.code for rule in all_rules()]
+    assert codes == baseline["rules"]
+
+
+def test_self_lint_is_clean(baseline):
+    report = lint_paths([SRC])
+    assert len(report.findings) == 0
+    assert report.files_scanned >= baseline["self_lint"]["min_files"]
+
+
+def test_corpus_counts_pinned(baseline, corpus):
+    report = lint_paths([corpus])
+    assert report.files_scanned == CORPUS_FILES
+    expected_total = {
+        code: count * CORPUS_FILES
+        for code, count in baseline["corpus"]["per_file"].items()
+    }
+    assert report.counts == expected_total
+
+
+def test_corpus_matches_inline_expectation(baseline):
+    # the committed baseline and this file must agree — a drift in either
+    # is a review-visible diff, not a silent re-pin.
+    assert baseline["corpus"]["per_file"] == {
+        code: count
+        for code, count in _expected_per_file().items()
+    }
+    assert baseline["corpus"]["files"] == CORPUS_FILES
+
+
+def test_autofix_pinned(baseline, tmp_path):
+    root = _write_corpus(tmp_path / "fix_corpus")
+    result = fix_paths([root], write=True)
+    per_file = baseline["corpus"]["per_file"]
+    assert result.total_fixes == (
+        (per_file["RL006"] + per_file["RL007"]) * CORPUS_FILES
+    )
+    # idempotence: a second pass finds nothing left to fix
+    again = fix_paths([root], write=True)
+    assert again.total_fixes == 0
+    # and the fixable codes are gone while semantic findings remain
+    report = lint_paths([root])
+    assert "RL006" not in report.counts
+    assert "RL007" not in report.counts
+    assert report.counts["RL013"] == CORPUS_FILES
+
+
+# ---------------------------------------------------------- throughput
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_src_throughput(benchmark):
+    report = benchmark(lambda: lint_paths([SRC]))
+    assert len(report.findings) == 0
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_corpus_throughput(benchmark, corpus):
+    report = benchmark(lambda: lint_paths([corpus]))
+    assert report.files_scanned == CORPUS_FILES

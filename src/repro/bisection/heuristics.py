@@ -18,6 +18,7 @@ import scipy.sparse.linalg as spla
 
 from repro.bisection.separator import separator_edges
 from repro.placements.base import Placement
+from repro.util.rng import resolve_rng
 
 __all__ = ["SpectralBisection", "spectral_bisection"]
 
@@ -70,7 +71,7 @@ def spectral_bisection(placement: Placement, seed: int = 0) -> SpectralBisection
     torus = placement.torus
     n = torus.num_nodes
     lap = _laplacian(placement)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     v0 = rng.standard_normal(n)
     # smallest two eigenpairs; Fiedler vector = second
     _vals, vecs = spla.eigsh(lap.asfptype(), k=2, which="SM", v0=v0)

@@ -193,7 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace_sum.add_argument("path", help="the trace JSONL file to summarize")
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis rules (RL001-RL010)"
+        "lint",
+        help="run the repo's semantic static-analysis rules (RL001-RL015)",
     )
     p_lint.add_argument(
         "paths",
@@ -213,6 +214,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    p_lint.add_argument(
+        "--fix", action="store_true",
+        help="rewrite fixable findings (RL006, RL007) in place",
+    )
+    p_lint.add_argument(
+        "--diff", action="store_true",
+        help="preview --fix as a unified diff without writing",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="FILE",
+        help="subtract a committed findings baseline before failing",
+    )
+    p_lint.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record current findings as the new baseline",
     )
     return parser
 
@@ -647,6 +664,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--ignore", args.ignore]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.fix:
+        argv += ["--fix"]
+    if args.diff:
+        argv += ["--diff"]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
     return run(argv)
 
 

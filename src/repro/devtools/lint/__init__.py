@@ -26,6 +26,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.devtools.lint.semantics import (
+    ImportResolver,
+    Project,
+    module_name_for_path,
+)
+
 __all__ = [
     "Finding",
     "FileContext",
@@ -63,14 +69,74 @@ class Finding:
 
 
 class FileContext:
-    """Everything a rule may inspect about one source file."""
+    """Everything a rule may inspect about one source file.
 
-    def __init__(self, path: Path, source: str, tree: ast.Module):
+    ``project`` is the whole-program index built by :func:`lint_paths`
+    (single-file runs get a one-module project); ``resolver`` is the
+    file's own alias-aware import resolver, and :meth:`resolve` is the
+    one call rules should use — it resolves through the file's imports
+    *and* canonicalizes re-exports through the project.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        tree: ast.Module,
+        project: "Project | None" = None,
+    ):
         self.path = path
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
         self.noqa = parse_noqa(source)
+        self.project = project
+        self._resolver: "ImportResolver | None" = None
+        self._effective_noqa: dict[int, frozenset[str] | None] | None = None
+
+    @property
+    def resolver(self) -> "ImportResolver":
+        """This file's alias-aware import resolver (built lazily)."""
+        if self._resolver is None:
+            if self.project is not None:
+                info = self.project.module(module_name_for_path(self.path))
+                if info is not None and info.path == self.path:
+                    self._resolver = info.resolver
+            if self._resolver is None:
+                self._resolver = ImportResolver(
+                    self.tree,
+                    module_name=module_name_for_path(self.path),
+                    is_package=self.path.name == "__init__.py",
+                )
+        return self._resolver
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical qualified name of a ``Name``/``Attribute`` chain.
+
+        Aliases are seen through (``from repro.load.engine import fft as
+        f`` makes ``f.FFTBackend`` resolve), and re-export chains are
+        chased through the project when one is available.
+        """
+        qname = self.resolver.qualified_name(node)
+        if qname is None:
+            return None
+        if self.project is not None:
+            return self.project.canonical(qname)
+        return qname
+
+    @property
+    def effective_noqa(self) -> dict[int, frozenset[str] | None]:
+        """Line suppressions with multiline statements expanded.
+
+        A ``# repro: noqa(...)`` anywhere inside a parenthesized import
+        or a def/class header (decorators included) suppresses findings
+        anchored to *any* line of that statement — a finding on a
+        decorated ``def`` anchors to the ``def`` line while the pragma
+        often sits on the decorator or a wrapped argument line.
+        """
+        if self._effective_noqa is None:
+            self._effective_noqa = _expand_noqa_spans(self.tree, self.noqa)
+        return self._effective_noqa
 
     @property
     def posix_path(self) -> str:
@@ -184,6 +250,53 @@ def parse_noqa(source: str) -> dict[int, frozenset[str] | None]:
     return out
 
 
+def _expand_noqa_spans(
+    tree: ast.Module, noqa: dict[int, frozenset[str] | None]
+) -> dict[int, frozenset[str] | None]:
+    """Spread suppressions across multiline statement spans.
+
+    Import statements get their full node span (parenthesized imports
+    wrap); def/class statements get their *header* span — first
+    decorator line through the line before the body — so a pragma on a
+    decorator suppresses a finding anchored on the ``def`` line without
+    blanketing the whole function body.
+    """
+    effective: dict[int, frozenset[str] | None] = dict(noqa)
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            start = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
+            body_start = node.body[0].lineno if node.body else node.lineno + 1
+            spans.append((start, max(start, body_start - 1)))
+    for start, end in spans:
+        entries = [noqa[line] for line in range(start, end + 1) if line in noqa]
+        if not entries:
+            continue
+        merged: frozenset[str] | None
+        if any(entry is None for entry in entries):
+            merged = None
+        else:
+            merged = frozenset().union(
+                *[entry for entry in entries if entry is not None]
+            )
+        for line in range(start, end + 1):
+            existing = effective.get(line, frozenset())
+            if line in effective and existing is None:
+                continue
+            if merged is None:
+                effective[line] = None
+            else:
+                assert existing is not None
+                effective[line] = existing | merged
+    return effective
+
+
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
     """Expand files/directories into a deduplicated, sorted ``.py`` walk."""
     seen: set[Path] = set()
@@ -204,38 +317,61 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
     return iter(collected)
 
 
-def lint_file(
-    path: Path, rules: Sequence[Rule] | None = None
-) -> list[Finding]:
-    """Lint one file; a syntax error yields a single RL000 finding."""
-    if rules is None:
-        rules = all_rules()
+def _parse_source(path: Path) -> tuple[str, ast.Module | None, Finding | None]:
+    """Read and parse one file; syntax errors become an RL000 finding."""
     source = path.read_text(encoding="utf-8")
     try:
-        tree = ast.parse(source, filename=str(path))
+        return source, ast.parse(source, filename=str(path)), None
     except SyntaxError as err:
-        return [
+        return (
+            source,
+            None,
             Finding(
                 path=path.as_posix(),
                 line=err.lineno or 1,
                 col=(err.offset or 1) - 1,
                 code=SYNTAX_ERROR_CODE,
                 message=f"syntax error: {err.msg}",
-            )
-        ]
-    ctx = FileContext(path, source, tree)
+            ),
+        )
+
+
+def _lint_context(ctx: FileContext, rules: Sequence[Rule]) -> list[Finding]:
+    """Run ``rules`` over an already-built context, applying noqa."""
     findings: list[Finding] = []
+    noqa = ctx.effective_noqa
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
-            suppressed = ctx.noqa.get(finding.line)
-            if suppressed is None and finding.line in ctx.noqa:
+            suppressed = noqa.get(finding.line)
+            if suppressed is None and finding.line in noqa:
                 continue  # bare noqa
             if suppressed is not None and finding.code in suppressed:
                 continue
             findings.append(finding)
     return findings
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule] | None = None,
+    project: Project | None = None,
+) -> list[Finding]:
+    """Lint one file; a syntax error yields a single RL000 finding.
+
+    Without a ``project``, a single-module one is built so semantic
+    rules still resolve the file's own imports.
+    """
+    if rules is None:
+        rules = all_rules()
+    source, tree, error = _parse_source(path)
+    if tree is None:
+        assert error is not None
+        return [error]
+    if project is None:
+        project = Project.build([(path, tree)])
+    return _lint_context(FileContext(path, source, tree, project), rules)
 
 
 @dataclass
@@ -270,8 +406,20 @@ def lint_paths(
         dropped = {get_rule(code).code for code in ignore}
         rules = tuple(rule for rule in rules if rule.code not in dropped)
     report = LintReport()
+    # First pass parses everything so semantic rules see the whole
+    # program (import graph, re-export chains) — not just one file.
+    parsed: list[tuple[Path, str, ast.Module]] = []
     for path in iter_python_files(paths):
         report.files_scanned += 1
-        report.findings.extend(lint_file(path, rules))
+        source, tree, error = _parse_source(path)
+        if tree is None:
+            assert error is not None
+            report.findings.append(error)
+        else:
+            parsed.append((path, source, tree))
+    project = Project.build([(path, tree) for path, _, tree in parsed])
+    for path, source, tree in parsed:
+        ctx = FileContext(path, source, tree, project)
+        report.findings.extend(_lint_context(ctx, rules))
     report.findings.sort()
     return report

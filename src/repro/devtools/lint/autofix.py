@@ -1,0 +1,322 @@
+"""Mechanical fixes for the two safely-rewritable rules.
+
+``repro lint --fix`` applies, and ``--diff`` previews, source rewrites
+for:
+
+* **RL006** — unused imports are deleted; a partially-unused statement
+  (``import a, b`` with only ``b`` used, parenthesized multi-line
+  ``from`` imports) is rebuilt with just the surviving aliases;
+* **RL007** — a mutable default is replaced by ``None`` and an
+  ``if param is None: param = <original>`` guard is inserted at the top
+  of the body (after the docstring), preserving call-time semantics
+  while un-sharing the container.
+
+Fixes are computed from the same rule implementations the linter runs —
+anything ``# repro: noqa``-suppressed is left alone — and edits are
+applied in reverse document order so positions stay valid.  The rewrite
+is idempotent: fixed code produces no further findings, so a second
+``--fix`` is a no-op (there is a test pinning exactly that).
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lint import (
+    FileContext,
+    _lint_context,
+    _parse_source,
+    get_rule,
+    iter_python_files,
+)
+from repro.devtools.lint.semantics import Project
+
+__all__ = ["FIXABLE_CODES", "FileFix", "FixResult", "fix_paths", "fix_source"]
+
+#: codes --fix knows how to rewrite.
+FIXABLE_CODES = ("RL006", "RL007")
+
+_RL006_NAME_RE = re.compile(r"^`(?P<name>[^`]+)` is imported")
+
+
+@dataclass
+class _Edit:
+    """One replacement of a half-open source span (1-based lines)."""
+
+    start: tuple[int, int]
+    end: tuple[int, int]
+    text: str
+
+
+@dataclass
+class FileFix:
+    """Outcome for one file."""
+
+    path: Path
+    original: str
+    fixed: str
+    descriptions: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+    def diff(self) -> str:
+        """Unified diff of the rewrite (empty when unchanged)."""
+        if not self.changed:
+            return ""
+        rel = self.path.as_posix()
+        return "".join(
+            difflib.unified_diff(
+                self.original.splitlines(keepends=True),
+                self.fixed.splitlines(keepends=True),
+                fromfile=f"a/{rel}",
+                tofile=f"b/{rel}",
+            )
+        )
+
+
+@dataclass
+class FixResult:
+    """Aggregate outcome of one --fix / --diff run."""
+
+    fixes: list[FileFix] = field(default_factory=list)
+
+    @property
+    def changed_files(self) -> list[FileFix]:
+        return [fix for fix in self.fixes if fix.changed]
+
+    @property
+    def total_fixes(self) -> int:
+        return sum(len(fix.descriptions) for fix in self.fixes)
+
+
+def _offsets(source: str) -> list[int]:
+    """Byte offset of the start of each 1-based line."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _apply(source: str, edits: list[_Edit]) -> str:
+    starts = _offsets(source)
+
+    def pos(where: tuple[int, int]) -> int:
+        lineno, col = where
+        if lineno - 1 >= len(starts):
+            return len(source)
+        return starts[lineno - 1] + col
+
+    out = source
+    for edit in sorted(edits, key=lambda e: pos(e.start), reverse=True):
+        out = out[: pos(edit.start)] + edit.text + out[pos(edit.end) :]
+    return out
+
+
+# ---------------------------------------------------------------- RL006
+
+
+def _rl006_edits(
+    ctx: FileContext, codes: Iterable[str]
+) -> tuple[list[_Edit], list[str]]:
+    if "RL006" not in codes:
+        return [], []
+    rule = get_rule("RL006")
+    findings = _lint_context(ctx, [rule])
+    #: import statement lineno → unused bound names flagged there.
+    unused_at: dict[int, set[str]] = {}
+    for finding in findings:
+        match = _RL006_NAME_RE.match(finding.message)
+        if match:
+            unused_at.setdefault(finding.line, set()).add(match.group("name"))
+    if not unused_at:
+        return [], []
+    edits: list[_Edit] = []
+    descriptions: list[str] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        unused = unused_at.get(node.lineno)
+        if not unused:
+            continue
+
+        def bound_name(alias: ast.alias) -> str:
+            if isinstance(node, ast.Import) and alias.asname is None:
+                return alias.name.split(".")[0]
+            return alias.asname or alias.name
+
+        keep = [a for a in node.names if bound_name(a) not in unused]
+        dropped = [bound_name(a) for a in node.names if bound_name(a) in unused]
+        if not dropped:
+            continue
+        end_lineno = node.end_lineno or node.lineno
+        if not keep:
+            # delete the whole statement, including its trailing newline
+            edits.append(_Edit((node.lineno, 0), (end_lineno + 1, 0), ""))
+        else:
+            indent = " " * node.col_offset
+            if isinstance(node, ast.Import):
+                slim: ast.stmt = ast.Import(names=keep)
+            else:
+                slim = ast.ImportFrom(
+                    module=node.module, names=keep, level=node.level
+                )
+            rebuilt = ast.unparse(slim)
+            edits.append(
+                _Edit(
+                    (node.lineno, 0),
+                    (end_lineno, node.end_col_offset or 0),
+                    indent + rebuilt,
+                )
+            )
+        for name in sorted(dropped):
+            descriptions.append(
+                f"RL006 line {node.lineno}: removed unused import `{name}`"
+            )
+    return edits, descriptions
+
+
+# ---------------------------------------------------------------- RL007
+
+
+def _default_params(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[str, ast.expr]]:
+    """``(param name, default expr)`` pairs, in parameter order."""
+    out: list[tuple[str, ast.expr]] = []
+    positional = list(func.args.posonlyargs) + list(func.args.args)
+    defaults = list(func.args.defaults)
+    for arg, default in zip(positional[len(positional) - len(defaults) :],
+                            defaults):
+        out.append((arg.arg, default))
+    for arg, default in zip(func.args.kwonlyargs, func.args.kw_defaults):
+        if default is not None:
+            out.append((arg.arg, default))
+    return out
+
+
+def _body_insertion_point(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[int, int]:
+    """``(1-based line to insert before, body indent column)``."""
+    first = func.body[0]
+    rest = func.body[1:]
+    if (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+        and rest
+    ):
+        target = rest[0]
+    elif (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    ):
+        # docstring-only body: insert after it
+        return ((first.end_lineno or first.lineno) + 1, first.col_offset)
+    else:
+        target = first
+    return (target.lineno, target.col_offset)
+
+
+def _rl007_edits(
+    ctx: FileContext, codes: Iterable[str]
+) -> tuple[list[_Edit], list[str]]:
+    if "RL007" not in codes:
+        return [], []
+    rule = get_rule("RL007")
+    findings = _lint_context(ctx, [rule])
+    flagged = {(f.line, f.col) for f in findings}
+    if not flagged:
+        return [], []
+    edits: list[_Edit] = []
+    descriptions: list[str] = []
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        guards: list[tuple[str, str]] = []
+        for param, default in _default_params(func):
+            if (default.lineno, default.col_offset) not in flagged:
+                continue
+            original = ctx.segment(default)
+            if not original:
+                continue
+            edits.append(
+                _Edit(
+                    (default.lineno, default.col_offset),
+                    (
+                        default.end_lineno or default.lineno,
+                        default.end_col_offset or default.col_offset,
+                    ),
+                    "None",
+                )
+            )
+            guards.append((param, original))
+            descriptions.append(
+                f"RL007 line {default.lineno}: `{func.name}({param}=...)` "
+                "default moved into the body"
+            )
+        if guards and func.body:
+            lineno, col = _body_insertion_point(func)
+            indent = " " * col
+            block = "".join(
+                f"{indent}if {param} is None:\n"
+                f"{indent}    {param} = {original}\n"
+                for param, original in guards
+            )
+            edits.append(_Edit((lineno, 0), (lineno, 0), block))
+    return edits, descriptions
+
+
+# ------------------------------------------------------------- entry points
+
+
+def fix_source(
+    path: Path,
+    source: str,
+    tree: ast.Module,
+    codes: Iterable[str] = FIXABLE_CODES,
+) -> FileFix:
+    """Compute (without writing) the fixes for one parsed file."""
+    ctx = FileContext(path, source, tree, Project.build([(path, tree)]))
+    edits: list[_Edit] = []
+    descriptions: list[str] = []
+    for collect in (_rl006_edits, _rl007_edits):
+        new_edits, new_descriptions = collect(ctx, tuple(codes))
+        edits.extend(new_edits)
+        descriptions.extend(new_descriptions)
+    fixed = _apply(source, edits) if edits else source
+    return FileFix(
+        path=path, original=source, fixed=fixed, descriptions=descriptions
+    )
+
+
+def fix_paths(
+    paths: Iterable[str | Path],
+    write: bool,
+    codes: Iterable[str] = FIXABLE_CODES,
+) -> FixResult:
+    """Fix (or preview fixes for) every Python file under ``paths``.
+
+    ``write=False`` is the ``--diff`` dry run: nothing touches disk and
+    callers render :meth:`FileFix.diff`.  Files that fail to parse are
+    skipped — the lint run itself reports them as RL000.
+    """
+    wanted = tuple(c for c in codes if c in FIXABLE_CODES)
+    result = FixResult()
+    for path in iter_python_files(paths):
+        source, tree, _error = _parse_source(path)
+        if tree is None:
+            continue
+        fix = fix_source(path, source, tree, wanted)
+        result.fixes.append(fix)
+        if write and fix.changed:
+            path.write_text(fix.fixed, encoding="utf-8")
+    return result

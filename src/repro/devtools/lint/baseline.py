@@ -1,0 +1,134 @@
+"""Findings-baseline ratchet for the lint runner.
+
+A baseline file records, per ``(path, code)``, how many findings are
+*currently accepted* — legacy debt that new rules surfaced but that is
+not worth a same-PR fix.  ``repro lint --baseline lint-baseline.json``
+subtracts those allowances before deciding the exit code, so CI stays
+green on known debt while any *new* finding (or any file getting
+*worse*) still fails.  The ratchet only tightens: entries that no longer
+match a finding are reported as stale so they can be deleted, and
+``--write-baseline`` rewrites the file from the current findings
+(dropping every stale allowance at once).
+
+File format (committed, diff-friendly)::
+
+    {
+      "version": 1,
+      "allow": {
+        "src/repro/load/legacy.py": {"RL013": 2}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint import Finding, LintReport
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineResult",
+    "apply_baseline",
+    "baseline_from_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: ``path -> code -> allowed count``.
+Allowances = "dict[str, dict[str, int]]"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of subtracting a baseline from a finding list."""
+
+    #: findings that exceed their allowance (drive the exit code).
+    new_findings: list[Finding] = field(default_factory=list)
+    #: findings absorbed by the baseline.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: ``path:code`` allowances with no matching finding (delete these).
+    stale: list[str] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, int]]:
+    """Read a baseline file; raise ``ValueError`` on a bad shape."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as err:
+        raise ValueError(f"baseline {path} is not valid JSON: {err}") from err
+    if not isinstance(payload, dict) or "allow" not in payload:
+        raise ValueError(
+            f"baseline {path} must be an object with an 'allow' key"
+        )
+    version = payload.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; this runner "
+            f"understands version {BASELINE_VERSION}"
+        )
+    allow = payload["allow"]
+    out: dict[str, dict[str, int]] = {}
+    for file_path, codes in allow.items():
+        if not isinstance(codes, dict):
+            raise ValueError(
+                f"baseline {path}: entry for {file_path!r} must map codes "
+                "to counts"
+            )
+        out[str(file_path)] = {
+            str(code): int(count) for code, count in codes.items()
+        }
+    return out
+
+
+def apply_baseline(
+    findings: list[Finding], allow: dict[str, dict[str, int]]
+) -> BaselineResult:
+    """Subtract ``allow`` from ``findings``.
+
+    Findings are consumed in sorted (path, line) order, so when a file
+    has more findings of a code than its allowance, the *later* ones
+    surface as new — the stable choice for line-number churn.
+    """
+    remaining = {
+        path: dict(codes) for path, codes in allow.items()
+    }
+    result = BaselineResult()
+    for finding in sorted(findings):
+        budget = remaining.get(finding.path, {})
+        if budget.get(finding.code, 0) > 0:
+            budget[finding.code] -= 1
+            result.suppressed.append(finding)
+        else:
+            result.new_findings.append(finding)
+    for path in sorted(remaining):
+        for code in sorted(remaining[path]):
+            if remaining[path][code] > 0:
+                result.stale.append(f"{path}:{code}")
+    return result
+
+
+def baseline_from_findings(findings: list[Finding]) -> dict[str, dict[str, int]]:
+    """Build the allowance map recording the current findings."""
+    allow: dict[str, dict[str, int]] = {}
+    for finding in findings:
+        per_file = allow.setdefault(finding.path, {})
+        per_file[finding.code] = per_file.get(finding.code, 0) + 1
+    return {
+        path: dict(sorted(codes.items()))
+        for path, codes in sorted(allow.items())
+    }
+
+
+def write_baseline(path: Path, report: LintReport) -> dict[str, dict[str, int]]:
+    """Write the report's findings as the new baseline; return the map."""
+    allow = baseline_from_findings(report.findings)
+    payload = {"version": BASELINE_VERSION, "allow": allow}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return allow

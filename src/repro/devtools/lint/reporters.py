@@ -1,12 +1,17 @@
-"""Output formats for lint runs: human text and machine JSON."""
+"""Output formats for lint runs: human text and machine JSON.
+
+The JSON form is a stable contract (CI uploads it as an artifact):
+:func:`parse_json` reconstructs a :class:`LintReport` from it, and a
+round-trip test pins ``parse_json(render_json(r)) == r``.
+"""
 
 from __future__ import annotations
 
 import json
 
-from repro.devtools.lint import LintReport
+from repro.devtools.lint import Finding, LintReport
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "parse_json"]
 
 
 def render_text(report: LintReport) -> str:
@@ -43,3 +48,21 @@ def render_json(report: LintReport) -> str:
         ],
     }
     return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def parse_json(text: str) -> LintReport:
+    """Inverse of :func:`render_json` (``counts``/``total`` are derived)."""
+    doc = json.loads(text)
+    return LintReport(
+        findings=[
+            Finding(
+                path=f["path"],
+                line=f["line"],
+                col=f["col"],
+                code=f["code"],
+                message=f["message"],
+            )
+            for f in doc["findings"]
+        ],
+        files_scanned=doc["files_scanned"],
+    )

@@ -1,10 +1,18 @@
-"""The built-in rule set: repo-specific invariants RL001–RL010.
+"""The built-in rule set: repo-specific invariants RL001–RL015.
 
 Each rule generalizes a bug class this repository has actually hit (see
 ``docs/STATIC_ANALYSIS.md`` for the catalogue and the PR-1 incidents the
 first five rules grew out of).  Rules are heuristics, not proofs — the
 ``# repro: noqa(CODE)`` escape hatch exists precisely for the sites where
 a human can certify the invariant holds.
+
+RL001–RL010 are (mostly) single-file pattern matchers; RL011–RL015 are
+built on :mod:`repro.devtools.lint.semantics` — they resolve names
+through the file's imports (``ctx.resolve``), follow re-export chains
+through the project, and run CFG-based taint analyses.  RL004, RL009,
+and RL010 were retrofitted onto the same resolver, so renamed imports
+(``from repro.load.edge_loads import edge_loads_reference as oracle``)
+no longer slip past them.
 """
 
 from __future__ import annotations
@@ -14,6 +22,12 @@ import re
 from typing import Iterator
 
 from repro.devtools.lint import FileContext, Finding, Rule, register
+from repro.devtools.lint.semantics import (
+    FunctionScopes,
+    GlobalUsage,
+    TaintAnalysis,
+    run_taint,
+)
 
 __all__ = [
     "FloorOnLoadExpression",
@@ -26,6 +40,11 @@ __all__ = [
     "FullLoadEvalInLoop",
     "DirectPoolConstruction",
     "WallClockOrPrintInLibrary",
+    "AmbientRNG",
+    "NondetIterationIntoSink",
+    "ExactnessTaint",
+    "ExecutorWorkerPurity",
+    "SpanOutsideWith",
 ]
 
 #: identifier fragments that mark a value as a real-valued load figure —
@@ -370,6 +389,11 @@ class LoadFacadeBypass(Rule):
     that imports them directly bypasses backend selection, the default
     engine, and future sharding/caching policy.  Tests are exempt — the
     cross-check suites *must* reach the oracle directly.
+
+    Resolver-backed: a renamed import (``from repro.load.edge_loads
+    import edge_loads_reference as oracle``) is seen through, and a
+    local class that merely *shares* a backend's name no longer
+    false-positives when its definition is resolvable elsewhere.
     """
 
     code = "RL004"
@@ -381,6 +405,11 @@ class LoadFacadeBypass(Rule):
         if ctx.in_package("load") or ctx.in_package("devtools"):
             return False
         return True
+
+    @staticmethod
+    def _internal_qname(qname: str) -> bool:
+        leaf = qname.rsplit(".", 1)[-1]
+        return qname.startswith("repro.load.") and leaf in _ENGINE_INTERNALS
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         reported: set[int] = set()
@@ -399,16 +428,31 @@ class LoadFacadeBypass(Rule):
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom):
                 for alias in node.names:
-                    if alias.name in _ENGINE_INTERNALS:
+                    bound = alias.asname or alias.name
+                    origin = ctx.resolver.bindings.get(bound)
+                    canonical = (
+                        ctx.project.canonical(origin)
+                        if origin is not None and ctx.project is not None
+                        else origin
+                    )
+                    if canonical is not None and self._internal_qname(
+                        canonical
+                    ):
                         yield from flag(node, alias.name)
-            elif isinstance(node, ast.Attribute):
-                if node.attr in _ENGINE_INTERNALS:
-                    yield from flag(node, node.attr)
-            elif isinstance(node, ast.Name):
-                if node.id in _ENGINE_INTERNALS and isinstance(
+                    elif canonical is None and alias.name in _ENGINE_INTERNALS:
+                        yield from flag(node, alias.name)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                if isinstance(node, ast.Name) and not isinstance(
                     node.ctx, ast.Load
                 ):
-                    yield from flag(node, node.id)
+                    continue
+                qname = ctx.resolve(node)
+                leaf = node.attr if isinstance(node, ast.Attribute) else node.id
+                if qname is not None:
+                    if self._internal_qname(qname):
+                        yield from flag(node, qname.rsplit(".", 1)[-1])
+                elif leaf in _ENGINE_INTERNALS:
+                    yield from flag(node, leaf)
 
 
 @register
@@ -530,12 +574,34 @@ class UnusedImport(Rule):
 
 @register
 class MutableDefaultArgument(Rule):
-    """RL007 — a mutable default argument (shared across calls)."""
+    """RL007 — a mutable default argument (shared across calls).
+
+    Beyond literal ``[]``/``{}`` and the ``list``/``dict``/``set``
+    builtins, the attribute-form stdlib factories
+    (``collections.defaultdict(list)``, ``collections.deque()``, …) and
+    tuples *containing* mutable literals (``([], {})`` — the tuple is
+    immutable, its elements are not) are mutable too; all were blind
+    spots of the original builtin-name check.
+    """
 
     code = "RL007"
     summary = "mutable default argument"
 
     _MUTABLE_FACTORIES = ("list", "dict", "set")
+    #: canonical qualified names of stdlib mutable-container factories.
+    _MUTABLE_FACTORY_QNAMES = frozenset(
+        {
+            "collections.defaultdict",
+            "collections.deque",
+            "collections.OrderedDict",
+            "collections.Counter",
+            "collections.ChainMap",
+        }
+    )
+    #: leaf-name fallback when the import is not visible to the resolver.
+    _MUTABLE_FACTORY_LEAVES = frozenset(
+        {"defaultdict", "deque", "OrderedDict", "Counter", "ChainMap"}
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -544,7 +610,7 @@ class MutableDefaultArgument(Rule):
             defaults: list[ast.expr] = list(node.args.defaults)
             defaults.extend(d for d in node.args.kw_defaults if d is not None)
             for default in defaults:
-                if self._is_mutable(default):
+                if self._is_mutable(ctx, default):
                     yield self.finding(
                         ctx,
                         default,
@@ -553,15 +619,24 @@ class MutableDefaultArgument(Rule):
                         "None and build inside the body",
                     )
 
-    def _is_mutable(self, node: ast.expr) -> bool:
+    def _is_mutable(self, ctx: FileContext, node: ast.expr) -> bool:
         if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
                              ast.DictComp, ast.SetComp)):
             return True
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in self._MUTABLE_FACTORIES
+        if isinstance(node, ast.Tuple):
+            return any(self._is_mutable(ctx, elt) for elt in node.elts)
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._MUTABLE_FACTORIES:
+            return True
+        qname = ctx.resolve(func)
+        if qname is not None:
+            return qname in self._MUTABLE_FACTORY_QNAMES
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
         )
+        return leaf in self._MUTABLE_FACTORY_LEAVES
 
 
 @register
@@ -635,51 +710,47 @@ class DirectPoolConstruction(Rule):
     code = "RL009"
     summary = "direct process-pool construction outside repro/exec"
 
+    #: canonical qualified names that construct a process pool.
+    _POOL_QNAMES = frozenset(
+        {
+            "concurrent.futures.ProcessPoolExecutor",
+            "concurrent.futures.process.ProcessPoolExecutor",
+            "multiprocessing.Pool",
+            "multiprocessing.pool.Pool",
+            "multiprocessing.dummy.Pool",
+        }
+    )
+
     def applies_to(self, ctx: FileContext) -> bool:
         if ctx.is_test_file:
             return False
         return not ctx.in_package("exec")
 
+    def _is_pool_qname(self, qname: str) -> bool:
+        return qname in self._POOL_QNAMES or (
+            qname.startswith("multiprocessing.") and qname.endswith(".Pool")
+        )
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        pool_names: set[str] = set()  # names bound to a pool constructor
-        mp_aliases: set[str] = set()  # module aliases of multiprocessing
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name.split(".")[0] == "multiprocessing":
-                        mp_aliases.add(
-                            (alias.asname or alias.name).split(".")[0]
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                module = node.module or ""
-                for alias in node.names:
-                    bound = alias.asname or alias.name
-                    if (
-                        alias.name == "ProcessPoolExecutor"
-                        and module.startswith("concurrent.futures")
-                    ):
-                        pool_names.add(bound)
-                    elif alias.name == "Pool" and module.startswith(
-                        "multiprocessing"
-                    ):
-                        pool_names.add(bound)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            flagged = None
-            if isinstance(func, ast.Name) and func.id in pool_names:
-                flagged = func.id
+            flagged: str | None = None
+            qname = ctx.resolve(func)
+            if qname is not None:
+                if self._is_pool_qname(qname):
+                    flagged = ctx.segment(func) or qname
             elif isinstance(func, ast.Attribute):
                 if func.attr == "ProcessPoolExecutor":
                     flagged = ctx.segment(func)
-                elif func.attr == "Pool":
-                    root = func.value
-                    while isinstance(root, ast.Attribute):
-                        root = root.value
-                    if (
-                        isinstance(root, ast.Name)
-                        and root.id in mp_aliases
+                elif func.attr == "Pool" and isinstance(func.value, ast.Call):
+                    # `mp.get_context("spawn").Pool()` — resolve the
+                    # inner call's target instead of the unresolvable
+                    # call result.
+                    inner = ctx.resolve(func.value.func)
+                    if inner is not None and inner.startswith(
+                        "multiprocessing."
                     ):
                         flagged = ctx.segment(func)
             if flagged is not None:
@@ -719,48 +790,57 @@ class WallClockOrPrintInLibrary(Rule):
         return not ctx.posix_path.endswith("repro/obs/console.py")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        time_aliases: set[str] = set()  # module aliases of `time`
-        clock_names: set[str] = set()  # names bound by `from time import time`
+        # Names appearing as a call's func are handled in the Call
+        # branch; everything else resolving to `time.time` is a bare
+        # reference (`default_factory=time.time`, `clock = now`).
+        call_funcs = {
+            id(node.func)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+        }
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name == "time":
-                        time_aliases.add(alias.asname or alias.name)
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "time":
-                    for alias in node.names:
-                        if alias.name == "time":
-                            clock_names.add(alias.asname or alias.name)
-        for node in ast.walk(ctx.tree):
-            if (
-                isinstance(node, ast.Attribute)
-                and node.attr == "time"
-                and isinstance(node.value, ast.Name)
-                and node.value.id in time_aliases
-            ):
-                # flag the reference itself, so `default_factory=time.time`
-                # is caught even without a call
-                yield self.finding(
-                    ctx,
-                    node,
-                    "`time.time` is wall-clock (NTP-steppable) — measure "
-                    "with `time.perf_counter()`, and take informational "
-                    "timestamps via `repro.obs.console.wall_clock()`, or "
-                    "certify with `# repro: noqa(RL010)`",
-                )
-            elif isinstance(node, ast.Call) and isinstance(
-                node.func, ast.Name
-            ):
-                if node.func.id in clock_names:
+            if isinstance(node, ast.Attribute) and id(node) not in call_funcs:
+                if ctx.resolve(node) == "time.time":
+                    # flag the reference itself, so
+                    # `default_factory=time.time` is caught without a call
                     yield self.finding(
                         ctx,
                         node,
-                        f"`{node.func.id}()` (from time import time) is "
-                        "wall-clock — measure with `time.perf_counter()` "
-                        "or use `repro.obs.console.wall_clock()`, or "
+                        "`time.time` is wall-clock (NTP-steppable) — measure "
+                        "with `time.perf_counter()`, and take informational "
+                        "timestamps via `repro.obs.console.wall_clock()`, or "
                         "certify with `# repro: noqa(RL010)`",
                     )
-                elif node.func.id == "print":
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in call_funcs
+            ):
+                if ctx.resolve(node) == "time.time":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{node.id}` is bound to wall-clock `time.time` — "
+                        "measure with `time.perf_counter()` or use "
+                        "`repro.obs.console.wall_clock()`, or certify with "
+                        "`# repro: noqa(RL010)`",
+                    )
+            elif isinstance(node, ast.Call):
+                qname = ctx.resolve(node.func)
+                if qname == "time.time":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{ctx.segment(node.func)}()` is wall-clock "
+                        "(NTP-steppable) — measure with "
+                        "`time.perf_counter()` or use "
+                        "`repro.obs.console.wall_clock()`, or certify with "
+                        "`# repro: noqa(RL010)`",
+                    )
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                ):
                     yield self.finding(
                         ctx,
                         node,
@@ -769,3 +849,424 @@ class WallClockOrPrintInLibrary(Rule):
                         "`repro.obs.console` (quiet-aware stderr), or "
                         "certify with `# repro: noqa(RL010)`",
                     )
+
+
+@register
+class AmbientRNG(Rule):
+    """RL011 — ambient RNG call in library code.
+
+    Every stochastic path in this repository threads an explicit,
+    seeded generator through :func:`repro.util.rng.resolve_rng` /
+    :func:`~repro.util.rng.spawn_rngs`; that is what makes annealing and
+    randomized-search results replayable from a manifest seed.  A
+    ``random.random()`` / ``np.random.shuffle(...)`` global-state call —
+    or a private ``np.random.default_rng(...)`` that bypasses the shared
+    entry point — reintroduces ambient state the manifest cannot
+    capture.  Resolver-backed, so ``import numpy.random as npr`` and
+    ``from random import shuffle`` are both seen.  Explicit generator
+    *classes* (``random.Random(seed)``, ``np.random.PCG64(seed)``) are
+    exempt: constructing one with a pinned seed is deterministic.
+    """
+
+    code = "RL011"
+    summary = "ambient/unseeded RNG call outside repro.util.rng"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file or not ctx.in_package():
+            return False
+        return not ctx.posix_path.endswith("repro/util/rng.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qname = ctx.resolve(node.func)
+            if qname is None:
+                continue
+            in_random = qname.startswith("random.")
+            in_np_random = qname.startswith("numpy.random.")
+            if not (in_random or in_np_random):
+                continue
+            leaf = qname.rsplit(".", 1)[-1]
+            if leaf[:1].isupper():
+                continue  # explicit generator classes are deterministic
+            if leaf == "default_rng":
+                detail = (
+                    f"`{qname}` bypasses the shared RNG entry point — "
+                    "accept a `seed_or_rng` and call "
+                    "`repro.util.rng.resolve_rng(seed_or_rng)` instead"
+                )
+            else:
+                detail = (
+                    f"`{qname}` mutates/reads ambient RNG state — thread "
+                    "an explicit generator from "
+                    "`repro.util.rng.resolve_rng(seed)` through the call "
+                    "chain"
+                )
+            yield self.finding(
+                ctx,
+                node,
+                detail + ", or certify with `# repro: noqa(RL011)`",
+            )
+
+
+@register
+class NondetIterationIntoSink(Rule):
+    """RL012 — unordered iteration flowing into a deterministic sink.
+
+    ``set`` iteration order is salted per process; ``os.listdir`` /
+    ``glob`` / ``Path.iterdir`` order is filesystem-dependent.  Content
+    built from them is fine to *aggregate* (sums, counts) but must not
+    reach order-sensitive sinks — checkpoint-journal writes, fingerprint
+    computations, ``Metrics`` merges, trace emission — without an
+    intervening ``sorted(...)``: two runs of the same experiment would
+    journal different byte streams and resume would refuse the mismatch.
+    Dataflow-based: the taint engine follows the unordered value through
+    assignments, loop variables, comprehensions, and container mutation
+    to the sink argument.  Plain ``dict`` iteration is deliberately not
+    a source — insertion order is deterministic since Python 3.7.
+    """
+
+    code = "RL012"
+    summary = "unordered iteration reaches a deterministic sink unsorted"
+
+    _FS_QNAMES = frozenset(
+        {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+    )
+    _PATH_METHODS = frozenset({"iterdir", "glob", "rglob"})
+    _SINK_METHODS = {
+        "record": "a checkpoint-journal/metrics write",
+        "merge": "a metrics merge",
+        "emit": "a trace sink",
+        "event": "a trace sink",
+    }
+    _ORDER_INSENSITIVE = frozenset(
+        {"sorted", "len", "sum", "min", "max", "any", "all"}
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_test_file and ctx.in_package()
+
+    # ------------------------------------------------------ TaintSpec
+
+    def source(self, node: ast.expr, resolve) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        qname = resolve(func)
+        if qname in self._FS_QNAMES:
+            return True
+        return (
+            qname is None
+            and isinstance(func, ast.Attribute)
+            and func.attr in self._PATH_METHODS
+        )
+
+    def sanitizer(self, call: ast.Call, resolve) -> bool:
+        return (
+            isinstance(call.func, ast.Name)
+            and call.func.id in self._ORDER_INSENSITIVE
+        )
+
+    def sink(self, call: ast.Call, resolve) -> str | None:
+        func = call.func
+        leaf = None
+        if isinstance(func, ast.Attribute):
+            leaf = func.attr
+        elif isinstance(func, ast.Name):
+            leaf = func.id
+        if leaf is not None and "fingerprint" in leaf.lower():
+            return "a fingerprint computation"
+        if isinstance(func, ast.Attribute) and func.attr in self._SINK_METHODS:
+            return self._SINK_METHODS[func.attr]
+        if any(kw.arg == "fingerprint" for kw in call.keywords):
+            return "a fingerprint argument"
+        return None
+
+    # ----------------------------------------------------------- check
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for hit in run_taint(func, self, ctx.resolve):
+                src = hit.sources[0]
+                src_text = ctx.segment(src) or type(src).__name__
+                yield self.finding(
+                    ctx,
+                    hit.sink,
+                    f"value derived from unordered `{src_text}` (line "
+                    f"{src.lineno}) reaches {hit.label} — iteration order "
+                    "is nondeterministic; wrap the iteration in "
+                    "`sorted(...)`, or certify with `# repro: noqa(RL012)`",
+                )
+
+
+@register
+class ExactnessTaint(Rule):
+    """RL013 — float-introducing ops reaching an ``edge_loads`` return.
+
+    Paper loads are rationals with denominator ``routing_load_quantum``;
+    the engine contract (PR 6) is that every backend snaps its float
+    accumulation back to that lattice with
+    :func:`repro.load.quantize.snap_loads` before returning.  This pass
+    taints float-introducing expressions (true division, ``float()``,
+    ``np.fft``/``mean`` results) inside any ``repro.load`` function
+    whose name contains ``edge_loads`` and reports returns the taint can
+    reach without passing through ``snap_loads`` (or an integral
+    rounding).  The reference oracle, whose raw float accumulation *is*
+    the definition under test, certifies itself with a noqa.
+    """
+
+    code = "RL013"
+    summary = "unsnapped float arithmetic reaches an edge_loads return"
+
+    _SANITIZER_QNAMES = frozenset(
+        {"repro.load.quantize.snap_loads", "numpy.rint"}
+    )
+    _SANITIZER_LEAVES = frozenset({"snap_loads", "rint", "round", "int"})
+    _FLOAT_QNAMES = frozenset(
+        {"numpy.true_divide", "numpy.divide", "numpy.mean", "numpy.average"}
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file:
+            return False
+        return ctx.in_package("load")
+
+    # ------------------------------------------------------ TaintSpec
+
+    def source(self, node: ast.expr, resolve) -> bool:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        qname = resolve(func)
+        if qname is not None:
+            return qname in self._FLOAT_QNAMES or qname.startswith(
+                "numpy.fft."
+            )
+        return isinstance(func, ast.Attribute) and func.attr == "mean"
+
+    def sanitizer(self, call: ast.Call, resolve) -> bool:
+        func = call.func
+        qname = resolve(func)
+        if qname in self._SANITIZER_QNAMES:
+            return True
+        leaf = None
+        if isinstance(func, ast.Attribute):
+            leaf = func.attr
+        elif isinstance(func, ast.Name):
+            leaf = func.id
+        return leaf in self._SANITIZER_LEAVES
+
+    def sink(self, call: ast.Call, resolve) -> str | None:
+        return None  # the sink is the return statement, handled below
+
+    # ----------------------------------------------------------- check
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if "edge_loads" in func.name:
+                yield from self._check_function(ctx, func)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        analysis = TaintAnalysis(func, self, ctx.resolve)
+        for _block, unit in analysis.iter_units():
+            if not isinstance(unit, ast.Return) or unit.value is None:
+                continue
+            sources = analysis.taint_of(unit, unit.value)
+            if not sources:
+                continue
+            src = sources[0]
+            src_text = ctx.segment(src) or type(src).__name__
+            yield self.finding(
+                ctx,
+                unit,
+                f"`{func.name}` returns loads that float-introducing "
+                f"`{src_text}` (line {src.lineno}) can reach without "
+                "`repro.load.quantize.snap_loads` — snap to the routing "
+                "quantum before returning, or certify with "
+                "`# repro: noqa(RL013)`",
+            )
+
+
+@register
+class ExecutorWorkerPurity(Rule):
+    """RL014 — an unpicklable or impure worker handed to the executor.
+
+    :class:`repro.exec.ResilientExecutor` ships its worker across a
+    process boundary: lambdas and nested functions fail to pickle at
+    submit time (or worse, only on the fallback path), and a worker that
+    reads a module global some *other* function mutates sees whatever
+    the fork copied — not the parent's later writes — which is silent
+    nondeterminism under retries.  The sanctioned worker-state pattern
+    (globals written by the very ``initializer=`` passed alongside the
+    worker) is exempt.
+    """
+
+    code = "RL014"
+    summary = "lambda/closure or mutated-global worker given to ResilientExecutor"
+
+    _EXECUTOR_QNAMES = frozenset(
+        {
+            "repro.exec.ResilientExecutor",
+            "repro.exec.executor.ResilientExecutor",
+        }
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_test_file
+
+    def _is_executor_call(self, ctx: FileContext, node: ast.Call) -> bool:
+        qname = ctx.resolve(node.func)
+        if qname is not None:
+            return qname in self._EXECUTOR_QNAMES
+        func = node.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        return leaf == "ResilientExecutor"
+
+    @staticmethod
+    def _worker_expr(node: ast.Call) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == "worker_fn":
+                return kw.value
+        return node.args[0] if node.args else None
+
+    @staticmethod
+    def _initializer_name(node: ast.Call) -> str | None:
+        for kw in node.keywords:
+            if kw.arg == "initializer" and isinstance(kw.value, ast.Name):
+                return kw.value.id
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scopes = FunctionScopes(ctx.tree)
+        usage = GlobalUsage(ctx.tree)
+        defs_by_name: dict[str, list[ast.AST]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs_by_name.setdefault(node.name, []).append(node)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_executor_call(ctx, node):
+                continue
+            worker = self._worker_expr(node)
+            if worker is None:
+                continue
+            if isinstance(worker, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    worker,
+                    "lambda worker given to ResilientExecutor — workers "
+                    "cross a process boundary and must be importable "
+                    "module-level functions",
+                )
+                continue
+            if not isinstance(worker, ast.Name):
+                continue
+            name = worker.id
+            if name in scopes.module_functions:
+                impure = usage.reads(name) & usage.mutated_globals()
+                init_name = self._initializer_name(node)
+                if init_name is not None:
+                    impure -= usage.writes(init_name)
+                if impure:
+                    listed = ", ".join(
+                        f"`{g}` (mutated by "
+                        + "/".join(usage.mutators_of(g))
+                        + ")"
+                        for g in sorted(impure)
+                    )
+                    yield self.finding(
+                        ctx,
+                        worker,
+                        f"worker `{name}` reads mutated module globals: "
+                        f"{listed} — forked workers see a stale copy; pass "
+                        "the state through `initializer=`/payloads, or "
+                        "certify with `# repro: noqa(RL014)`",
+                    )
+            elif any(
+                scopes.is_nested(d) for d in defs_by_name.get(name, [])
+            ):
+                yield self.finding(
+                    ctx,
+                    worker,
+                    f"worker `{name}` is a nested function (closure) — it "
+                    "cannot pickle across the process boundary; hoist it "
+                    "to module level",
+                )
+
+
+@register
+class SpanOutsideWith(Rule):
+    """RL015 — ``tracer.span(...)`` used outside a ``with`` statement.
+
+    A :class:`repro.obs.tracer.Span` only records on ``__exit__``; a
+    span created outside a ``with`` (stored, returned, or discarded)
+    silently drops its timing and, with an active tracer, corrupts span
+    nesting for everything recorded while it dangles.  Chained
+    annotations inside the with-item (``with tracer.span("x").annotate(
+    ...)``) are recognized.  The tracer module itself and tests are
+    exempt.
+    """
+
+    code = "RL015"
+    summary = "tracer.span(...) outside a `with` statement"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file or not ctx.in_package():
+            return False
+        return not ctx.posix_path.endswith("repro/obs/tracer.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        allowed: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr: ast.expr | None = item.context_expr
+                    while isinstance(expr, ast.Call):
+                        allowed.add(id(expr))
+                        func = expr.func
+                        expr = (
+                            func.value
+                            if isinstance(func, ast.Attribute)
+                            else None
+                        )
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in allowed
+                and self._tracer_like(ctx, node.func.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{ctx.segment(node.func)}(...)` outside a `with` — "
+                    "spans record on __exit__; write "
+                    "`with tracer.span(...):`, or certify a deliberate "
+                    "handle with `# repro: noqa(RL015)`",
+                )
+
+    @staticmethod
+    def _tracer_like(ctx: FileContext, receiver: ast.expr) -> bool:
+        segment = ctx.segment(receiver).lower()
+        return "tracer" in segment

@@ -1,0 +1,73 @@
+"""Whole-program semantic analysis for the repro lint framework.
+
+The original lint rules were single-file AST pattern matchers; this
+package grows them three capabilities they could not express:
+
+* **project-wide symbol resolution and an import graph**
+  (:mod:`~repro.devtools.lint.semantics.resolver`) — every local name is
+  mapped through the file's imports to a fully qualified name
+  (``from repro.load.engine import fft as f`` makes ``f.FFTBackend``
+  resolve to ``repro.load.engine.fft.FFTBackend``), and a
+  :class:`~repro.devtools.lint.semantics.resolver.Project` built over all
+  linted files chases re-export chains (``repro.load.engine.LoadEngine``
+  canonicalizes to ``repro.load.engine.facade.LoadEngine``) and exposes
+  the module-level import graph;
+
+* **per-function control-flow graphs with reaching definitions**
+  (:mod:`~repro.devtools.lint.semantics.cfg`) — basic blocks, branch and
+  loop edges, and a standard worklist reaching-definitions solve;
+
+* **a small taint/dataflow framework**
+  (:mod:`~repro.devtools.lint.semantics.dataflow`) — rules declare
+  sources, sanitizers, and sinks as predicates over resolved names and
+  AST shapes; the engine propagates taint over the CFG to a fixpoint and
+  reports every sink reached by unsanitized taint.
+
+Rules access all of this through :class:`FileContext.resolver` (always
+available, built from the file's own imports) and ``FileContext.project``
+(populated by :func:`repro.devtools.lint.lint_paths` when a whole
+directory is linted; single-file runs get a one-module project).
+
+Everything here is pure stdlib ``ast`` work: no module is ever imported,
+so linting cannot execute repository code.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.semantics.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    ReachingDefinitions,
+)
+from repro.devtools.lint.semantics.dataflow import (
+    TaintAnalysis,
+    TaintHit,
+    TaintSpec,
+    run_taint,
+)
+from repro.devtools.lint.semantics.resolver import (
+    ImportResolver,
+    ModuleInfo,
+    Project,
+    module_name_for_path,
+)
+from repro.devtools.lint.semantics.scopes import (
+    FunctionScopes,
+    GlobalUsage,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "ReachingDefinitions",
+    "TaintAnalysis",
+    "TaintHit",
+    "TaintSpec",
+    "run_taint",
+    "ImportResolver",
+    "ModuleInfo",
+    "Project",
+    "module_name_for_path",
+    "FunctionScopes",
+    "GlobalUsage",
+]

@@ -1,0 +1,385 @@
+"""Per-function control-flow graphs and reaching definitions.
+
+The CFG is statement-granular: every basic block carries an ordered list
+of *units* — simple statements, plus the header nodes of compound
+statements (an ``if``'s test lives in the block before the branch; a
+``for`` statement itself appears as a unit modelling ``target =
+next(iter)``).  Nested function and class bodies are opaque single
+units: intraprocedural analyses do not descend into them.
+
+:class:`ReachingDefinitions` is the classic gen/kill worklist solve over
+that graph.  A *definition* is any binding of a simple local name —
+assignment targets, tuple unpacking, augmented and annotated
+assignments, ``for`` targets, ``with ... as`` names, walrus expressions
+— identified by its defining unit node.  The dataflow/taint engine in
+:mod:`repro.devtools.lint.semantics.dataflow` is built directly on the
+per-unit reaching sets exposed here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "ReachingDefinitions"]
+
+#: AST node types whose bodies form new scopes the CFG must not enter.
+_NEW_SCOPE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+class BasicBlock:
+    """One straight-line run of units with its successor edges."""
+
+    __slots__ = ("index", "units", "successors")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.units: list[ast.AST] = []
+        self.successors: list[int] = []
+
+    def add_successor(self, index: int) -> None:
+        if index not in self.successors:
+            self.successors.append(index)
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock({self.index}, units={len(self.units)}, "
+            f"succ={self.successors})"
+        )
+
+
+class _LoopFrame:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    __slots__ = ("continue_to", "break_to")
+
+    def __init__(self, continue_to: int, break_to: int):
+        self.continue_to = continue_to
+        self.break_to = break_to
+
+
+class ControlFlowGraph:
+    """Statement-level CFG for one function body (or statement list)."""
+
+    def __init__(self, blocks: list[BasicBlock], entry: int, exit: int):
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def for_function(
+        cls, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> "ControlFlowGraph":
+        return cls.for_statements(func.body)
+
+    @classmethod
+    def for_statements(cls, body: list[ast.stmt]) -> "ControlFlowGraph":
+        builder = _Builder()
+        start = builder.new_block()
+        end = builder.walk_body(body, start)
+        if end is not None:
+            builder.blocks[end].add_successor(builder.exit)
+        return cls(builder.blocks, entry=start, exit=builder.exit)
+
+    # ----------------------------------------------------------- traversal
+
+    def predecessors(self) -> dict[int, list[int]]:
+        preds: dict[int, list[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].append(block.index)
+        return preds
+
+    def iter_units(self) -> Iterator[tuple[BasicBlock, ast.AST]]:
+        """Every (block, unit) pair in block order."""
+        for block in self.blocks:
+            for unit in block.units:
+                yield block, unit
+
+
+class _Builder:
+    """Recursive CFG construction with loop/exception frames."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.exit = self.new_block()  # block 0 is the virtual exit
+        self.loops: list[_LoopFrame] = []
+        # blocks that may transfer to an active exception handler
+        self.handler_entries: list[list[int]] = []
+
+    def new_block(self) -> int:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    # ------------------------------------------------------------- helpers
+
+    def _note_may_raise(self, block: int) -> None:
+        """Inside a try, any unit may jump to the handlers."""
+        for entries in self.handler_entries:
+            for handler in entries:
+                self.blocks[block].add_successor(handler)
+
+    # ---------------------------------------------------------------- walk
+
+    def walk_body(self, body: list[ast.stmt], current: int) -> int | None:
+        """Thread ``body`` from block ``current``; return the fall-through
+        block, or ``None`` when every path leaves (return/raise/jump)."""
+        live: int | None = current
+        for stmt in body:
+            if live is None:
+                # unreachable code still gets a block so its units exist
+                # for position queries, but no edges lead into it.
+                live = self.new_block()
+            live = self._walk_stmt(stmt, live)
+        return live
+
+    def _walk_stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        if isinstance(stmt, _NEW_SCOPE):
+            # opaque: the def/class statement binds a name, nothing more.
+            self.blocks[current].units.append(stmt)
+            return current
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].units.append(stmt)
+            self._note_may_raise(current)
+            self.blocks[current].add_successor(self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].units.append(stmt)
+            if self.loops:
+                self.blocks[current].add_successor(self.loops[-1].break_to)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].units.append(stmt)
+            if self.loops:
+                self.blocks[current].add_successor(self.loops[-1].continue_to)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._walk_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._walk_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._walk_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].units.append(stmt)
+            self._note_may_raise(current)
+            return self.walk_body(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._walk_match(stmt, current)
+        # simple statement
+        self.blocks[current].units.append(stmt)
+        self._note_may_raise(current)
+        return current
+
+    def _walk_if(self, stmt: ast.If, current: int) -> int | None:
+        self.blocks[current].units.append(stmt)  # models the test
+        self._note_may_raise(current)
+        then_entry = self.new_block()
+        self.blocks[current].add_successor(then_entry)
+        then_exit = self.walk_body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self.new_block()
+            self.blocks[current].add_successor(else_entry)
+            else_exit = self.walk_body(stmt.orelse, else_entry)
+        else:
+            else_exit = current
+        if then_exit is None and else_exit is None:
+            return None
+        join = self.new_block()
+        if then_exit is not None:
+            self.blocks[then_exit].add_successor(join)
+        if else_exit is not None:
+            self.blocks[else_exit].add_successor(join)
+        return join
+
+    def _walk_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: int
+    ) -> int | None:
+        header = self.new_block()
+        self.blocks[current].add_successor(header)
+        # the loop statement itself is the header unit: for a `for` loop
+        # it models `target = next(iter)`; for `while`, the test.
+        self.blocks[header].units.append(stmt)
+        self._note_may_raise(header)
+        body_entry = self.new_block()
+        after = self.new_block()
+        self.blocks[header].add_successor(body_entry)
+        self.blocks[header].add_successor(after)
+        self.loops.append(_LoopFrame(continue_to=header, break_to=after))
+        body_exit = self.walk_body(stmt.body, body_entry)
+        self.loops.pop()
+        if body_exit is not None:
+            self.blocks[body_exit].add_successor(header)
+        if stmt.orelse:
+            # `else` runs on normal loop exit; approximate by threading it
+            # between the header and `after`.
+            else_entry = self.new_block()
+            self.blocks[header].add_successor(else_entry)
+            else_exit = self.walk_body(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self.blocks[else_exit].add_successor(after)
+        return after
+
+    def _walk_try(self, stmt: ast.Try, current: int) -> int | None:
+        handler_blocks = [self.new_block() for _ in stmt.handlers]
+        after = self.new_block()
+        self.handler_entries.append(handler_blocks)
+        body_exit = self.walk_body(stmt.body, current)
+        self.handler_entries.pop()
+        exits: list[int | None] = []
+        if stmt.orelse:
+            if body_exit is not None:
+                exits.append(self.walk_body(stmt.orelse, body_exit))
+        else:
+            exits.append(body_exit)
+        for handler, block in zip(stmt.handlers, handler_blocks):
+            self.blocks[block].units.append(handler)  # models `as name`
+            exits.append(self.walk_body(handler.body, block))
+        live_exits = [e for e in exits if e is not None]
+        if stmt.finalbody:
+            final_entry = self.new_block()
+            for e in live_exits:
+                self.blocks[e].add_successor(final_entry)
+            final_exit = self.walk_body(stmt.finalbody, final_entry)
+            if final_exit is None:
+                return None
+            self.blocks[final_exit].add_successor(after)
+            return after
+        if not live_exits:
+            return None
+        for e in live_exits:
+            self.blocks[e].add_successor(after)
+        return after
+
+    def _walk_match(self, stmt: ast.Match, current: int) -> int | None:
+        self.blocks[current].units.append(stmt)  # models the subject
+        self._note_may_raise(current)
+        after = self.new_block()
+        for case in stmt.cases:
+            case_entry = self.new_block()
+            self.blocks[current].add_successor(case_entry)
+            case_exit = self.walk_body(case.body, case_entry)
+            if case_exit is not None:
+                self.blocks[case_exit].add_successor(after)
+        # no case may match at all: fall through.
+        self.blocks[current].add_successor(after)
+        return after
+
+
+# --------------------------------------------------------------- definitions
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Simple names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def unit_definitions(unit: ast.AST) -> tuple[str, ...]:
+    """Local names a CFG unit (re)binds, in syntactic order."""
+    names: list[str] = []
+    if isinstance(unit, ast.Assign):
+        for target in unit.targets:
+            names.extend(_target_names(target))
+    elif isinstance(unit, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(unit, ast.AnnAssign) and unit.value is None:
+            return ()
+        names.extend(_target_names(unit.target))
+    elif isinstance(unit, (ast.For, ast.AsyncFor)):
+        names.extend(_target_names(unit.target))
+    elif isinstance(unit, (ast.With, ast.AsyncWith)):
+        for item in unit.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+    elif isinstance(unit, ast.ExceptHandler):
+        if unit.name:
+            names.append(unit.name)
+    elif isinstance(unit, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.append(unit.name)
+    # walrus targets anywhere inside the unit's expressions
+    for sub in ast.walk(unit) if not isinstance(unit, _NEW_SCOPE) else ():
+        if isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+            names.append(sub.target.id)
+    return tuple(names)
+
+
+#: one definition: (variable name, the unit node that binds it).
+Definition = tuple[str, ast.AST]
+
+
+class ReachingDefinitions:
+    """Worklist reaching-definitions over a :class:`ControlFlowGraph`.
+
+    ``before(unit)`` returns the set of definitions live immediately
+    before the unit executes — the core query the taint engine runs per
+    name load.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self._gen: dict[int, dict[str, set[ast.AST]]] = {}
+        self._in: dict[int, dict[str, set[ast.AST]]] = {}
+        self._before_unit: dict[int, dict[str, set[ast.AST]]] = {}
+        self._solve()
+
+    @staticmethod
+    def _copy(state: dict[str, set[ast.AST]]) -> dict[str, set[ast.AST]]:
+        return {var: set(units) for var, units in state.items()}
+
+    @staticmethod
+    def _apply(state: dict[str, set[ast.AST]], unit: ast.AST) -> None:
+        for var in unit_definitions(unit):
+            state[var] = {unit}  # strong update: kill previous defs
+
+    def _transfer(
+        self, block: BasicBlock, state: dict[str, set[ast.AST]]
+    ) -> dict[str, set[ast.AST]]:
+        out = self._copy(state)
+        for unit in block.units:
+            self._before_unit[id(unit)] = self._copy(out)
+            self._apply(out, unit)
+        return out
+
+    def _solve(self) -> None:
+        blocks = {b.index: b for b in self.cfg.blocks}
+        in_sets: dict[int, dict[str, set[ast.AST]]] = {
+            i: {} for i in blocks
+        }
+        out_sets: dict[int, dict[str, set[ast.AST]]] = {
+            i: {} for i in blocks
+        }
+        work = sorted(blocks)
+        while work:
+            index = work.pop(0)
+            block = blocks[index]
+            out = self._transfer(block, in_sets[index])
+            if out != out_sets[index]:
+                out_sets[index] = out
+                for succ in block.successors:
+                    merged = in_sets[succ]
+                    changed = False
+                    for var, units in out.items():
+                        have = merged.setdefault(var, set())
+                        if not units <= have:
+                            have |= units
+                            changed = True
+                    if (changed or succ not in work) and succ not in work:
+                        work.append(succ)
+        self._in = in_sets
+
+    # ------------------------------------------------------------- queries
+
+    def before(self, unit: ast.AST) -> dict[str, set[ast.AST]]:
+        """Definitions reaching the program point just before ``unit``."""
+        return self._before_unit.get(id(unit), {})
+
+    def block_in(self, index: int) -> dict[str, set[ast.AST]]:
+        """Definitions reaching the entry of block ``index``."""
+        return self._in.get(index, {})

@@ -1,0 +1,164 @@
+"""Function-scope and module-global usage analysis.
+
+Two cheap passes the purity rules query:
+
+* :class:`FunctionScopes` — which functions are nested inside other
+  functions (closures), and which names each function closes over;
+* :class:`GlobalUsage` — per module-level function, the module globals
+  it *reads* and the globals it *mutates* through a ``global``
+  declaration.  A worker function shipped to a process pool that reads
+  a parent-mutated global is nondeterministic (the worker sees whatever
+  the fork copied, not the parent's later writes) — unless the same
+  fan-out's initializer is the thing that writes it, which is the
+  sanctioned worker-state pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["FunctionScopes", "GlobalUsage"]
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _local_bindings(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound in ``func``'s own scope (params, assignments, defs)."""
+    bound: set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    for node in _scope_walk(func):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, _FUNCS + (ast.ClassDef,)) and node is not func:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            bound.update(node.names)
+    return bound
+
+
+def _scope_walk(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without entering nested function scopes."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCS + (ast.Lambda,)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class FunctionScopes:
+    """Maps every function in a module to its enclosing function."""
+
+    def __init__(self, tree: ast.Module):
+        #: id(func node) → enclosing function node (``None`` at module level).
+        self._enclosing: dict[int, ast.AST | None] = {}
+        #: function name → module-level def node (last definition wins).
+        self.module_functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self._index(tree, None)
+
+    def _index(self, node: ast.AST, enclosing: ast.AST | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCS):
+                self._enclosing[id(child)] = enclosing
+                if enclosing is None and not isinstance(node, ast.ClassDef):
+                    self.module_functions[child.name] = child
+                self._index(child, child)
+            elif isinstance(child, ast.Lambda):
+                self._enclosing[id(child)] = enclosing
+                self._index(child, enclosing)
+            else:
+                self._index(child, enclosing)
+
+    def is_nested(self, func: ast.AST) -> bool:
+        """Whether ``func`` is defined inside another function (a closure)."""
+        return self._enclosing.get(id(func)) is not None
+
+
+class GlobalUsage:
+    """Per module-level function: globals read vs globals mutated."""
+
+    def __init__(self, tree: ast.Module):
+        self.scopes = FunctionScopes(tree)
+        self._module_names = self._collect_module_names(tree)
+        self._reads: dict[str, frozenset[str]] = {}
+        self._writes: dict[str, frozenset[str]] = {}
+        for name, func in self.scopes.module_functions.items():
+            reads, writes = self._analyze(func)
+            self._reads[name] = reads
+            self._writes[name] = writes
+
+    @staticmethod
+    def _collect_module_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _analyze(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        declared_global: set[str] = set()
+        for node in _scope_walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        local = _local_bindings(func) - declared_global
+        reads: set[str] = set()
+        writes: set[str] = set()
+        for node in _scope_walk(func):
+            if not isinstance(node, ast.Name):
+                continue
+            if isinstance(node.ctx, ast.Load):
+                if node.id in self._module_names and node.id not in local:
+                    reads.add(node.id)
+            elif isinstance(node.ctx, (ast.Store, ast.Del)):
+                if node.id in declared_global:
+                    writes.add(node.id)
+        return frozenset(reads), frozenset(writes)
+
+    # ------------------------------------------------------------- queries
+
+    def reads(self, function_name: str) -> frozenset[str]:
+        """Module globals the named function reads."""
+        return self._reads.get(function_name, frozenset())
+
+    def writes(self, function_name: str) -> frozenset[str]:
+        """Module globals the named function mutates via ``global``."""
+        return self._writes.get(function_name, frozenset())
+
+    def mutated_globals(self) -> frozenset[str]:
+        """Every module global some function mutates via ``global``."""
+        out: set[str] = set()
+        for writes in self._writes.values():
+            out |= writes
+        return frozenset(out)
+
+    def mutators_of(self, name: str) -> tuple[str, ...]:
+        """Names of the functions that mutate global ``name``."""
+        return tuple(
+            sorted(fn for fn, writes in self._writes.items() if name in writes)
+        )

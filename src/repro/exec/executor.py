@@ -148,7 +148,7 @@ class ResilientExecutor:
         policy: ExecPolicy | None = None,
         journal: CheckpointJournal | None = None,
         label: str = "exec",
-    ):
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ExecutionError(f"jobs must be >= 1, got {jobs}")
         self.worker_fn = worker_fn

@@ -57,7 +57,7 @@ class CheckpointJournal:
         resume: bool = False,
         encode: Callable[[Any], Any] | None = None,
         decode: Callable[[Any], Any] | None = None,
-    ):
+    ) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
         self._encode = encode if encode is not None else (lambda value: value)

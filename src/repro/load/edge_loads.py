@@ -81,4 +81,7 @@ def edge_loads_reference(
             for path in paths:
                 for eid in path.edge_ids:
                     loads[eid] += frac
-    return loads
+    # The oracle's raw float accumulation *is* the Definition-4 quantity
+    # the snapped backends are cross-checked against — snapping here
+    # would make that contract circular.
+    return loads  # repro: noqa(RL013)

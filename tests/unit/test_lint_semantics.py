@@ -1,0 +1,966 @@
+"""Tests for the whole-program semantic analyzer and rules RL011-RL015.
+
+Covers the semantics package itself (resolver, project canonicalization,
+CFG/reaching definitions, taint engine, scope analysis), true-positive
+and false-positive fixtures for each new rule family, the resolver
+retrofits of RL004/RL009/RL010, the RL006/RL007 autofixer (idempotence
+included), the findings-baseline ratchet, multiline noqa spans, and the
+JSON reporter round-trip.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    Finding,
+    LintReport,
+    lint_file,
+    lint_paths,
+)
+from repro.devtools.lint.autofix import fix_paths
+from repro.devtools.lint.baseline import (
+    apply_baseline,
+    baseline_from_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.lint.reporters import parse_json, render_json
+from repro.devtools.lint.semantics import (
+    ControlFlowGraph,
+    FunctionScopes,
+    GlobalUsage,
+    ImportResolver,
+    Project,
+    ReachingDefinitions,
+    TaintAnalysis,
+    module_name_for_path,
+    run_taint,
+)
+
+
+def _lint_snippet(tmp_path: Path, rel_path: str, source: str):
+    target = tmp_path / rel_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return lint_file(target)
+
+
+def _codes(findings) -> set[str]:
+    return {f.code for f in findings}
+
+
+def _resolve(source: str, expr: str, module: str = "repro.demo") -> str | None:
+    resolver = ImportResolver(ast.parse(source), module_name=module)
+    return resolver.qualified_name(ast.parse(expr, mode="eval").body)
+
+
+# ------------------------------------------------------------- resolver
+
+
+class TestImportResolver:
+    def test_plain_import_binds_top_name(self):
+        assert _resolve("import numpy\n", "numpy.fft.rfft") == "numpy.fft.rfft"
+
+    def test_aliased_import(self):
+        assert _resolve("import numpy as np\n", "np.random.rand") == (
+            "numpy.random.rand"
+        )
+
+    def test_from_import_with_rename(self):
+        source = "from repro.load.engine import fft as f\n"
+        assert _resolve(source, "f.FFTBackend") == (
+            "repro.load.engine.fft.FFTBackend"
+        )
+
+    def test_relative_import_resolves_against_module(self):
+        source = "from .engine import fft\n"
+        resolver = ImportResolver(
+            ast.parse(source), module_name="repro.load.helpers"
+        )
+        node = ast.parse("fft", mode="eval").body
+        assert resolver.qualified_name(node) == "repro.load.engine.fft"
+
+    def test_package_relative_import(self):
+        source = "from .facade import LoadEngine\n"
+        resolver = ImportResolver(
+            ast.parse(source),
+            module_name="repro.load.engine",
+            is_package=True,
+        )
+        node = ast.parse("LoadEngine", mode="eval").body
+        assert resolver.qualified_name(node) == (
+            "repro.load.engine.facade.LoadEngine"
+        )
+
+    def test_module_level_alias_assignment(self):
+        source = "import numpy as np\nrand = np.random.rand\n"
+        assert _resolve(source, "rand") == "numpy.random.rand"
+
+    def test_unresolvable_local(self):
+        assert _resolve("import numpy\n", "local_var") is None
+
+    def test_module_name_for_path(self):
+        assert module_name_for_path(
+            Path("src/repro/load/engine/fft.py")
+        ) == "repro.load.engine.fft"
+        assert module_name_for_path(
+            Path("src/repro/load/engine/__init__.py")
+        ) == "repro.load.engine"
+
+
+class TestProject:
+    def _project(self) -> Project:
+        return Project.build(
+            [
+                (
+                    Path("src/repro/load/engine/__init__.py"),
+                    ast.parse("from repro.load.engine.facade import LoadEngine\n"),
+                ),
+                (
+                    Path("src/repro/load/engine/facade.py"),
+                    ast.parse("class LoadEngine:\n    pass\n"),
+                ),
+            ]
+        )
+
+    def test_canonical_chases_reexport(self):
+        assert self._project().canonical("repro.load.engine.LoadEngine") == (
+            "repro.load.engine.facade.LoadEngine"
+        )
+
+    def test_canonical_identity_for_defining_module(self):
+        qname = "repro.load.engine.facade.LoadEngine"
+        assert self._project().canonical(qname) == qname
+
+    def test_import_graph_and_importers(self):
+        project = self._project()
+        graph = project.import_graph
+        assert graph["repro.load.engine"] == ("repro.load.engine.facade",)
+        assert project.importers_of("repro.load.engine.facade") == (
+            "repro.load.engine",
+        )
+
+
+# ------------------------------------------------------ CFG / dataflow
+
+
+class TestControlFlow:
+    def test_reaching_definitions_through_branches(self):
+        func = ast.parse(
+            "def f(n):\n"
+            "    x = 1\n"
+            "    if n:\n"
+            "        x = 2\n"
+            "    else:\n"
+            "        x = 3\n"
+            "    return x\n"
+        ).body[0]
+        cfg = ControlFlowGraph.for_function(func)
+        reaching = ReachingDefinitions(cfg)
+        ret = next(u for _, u in cfg.iter_units() if isinstance(u, ast.Return))
+        # both branch assignments reach; the initial x = 1 is killed
+        assert len(reaching.before(ret)["x"]) == 2
+
+    def test_loop_body_definition_reaches_header(self):
+        func = ast.parse(
+            "def f(items):\n"
+            "    acc = 0\n"
+            "    for item in items:\n"
+            "        acc = acc + item\n"
+            "    return acc\n"
+        ).body[0]
+        cfg = ControlFlowGraph.for_function(func)
+        reaching = ReachingDefinitions(cfg)
+        ret = next(u for _, u in cfg.iter_units() if isinstance(u, ast.Return))
+        assert len(reaching.before(ret)["acc"]) == 2
+
+
+class _SetSpec:
+    """set() is tainted; sorted() launders; journal.record is the sink."""
+
+    def source(self, node, resolve):
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "set"
+        )
+
+    def sanitizer(self, call, resolve):
+        return isinstance(call.func, ast.Name) and call.func.id == "sorted"
+
+    def sink(self, call, resolve):
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "record"
+        ):
+            return "journal"
+        return None
+
+
+class TestTaintEngine:
+    def test_flow_through_loop_and_container_mutation(self):
+        func = ast.parse(
+            "def f(journal, xs):\n"
+            "    names = set(xs)\n"
+            "    acc = []\n"
+            "    for name in names:\n"
+            "        acc.append(name)\n"
+            "    journal.record(acc)\n"
+        ).body[0]
+        hits = run_taint(func, _SetSpec(), lambda n: None)
+        assert len(hits) == 1
+        assert hits[0].label == "journal"
+
+    def test_sanitizer_cuts_the_chain(self):
+        func = ast.parse(
+            "def f(journal, xs):\n"
+            "    names = sorted(set(xs))\n"
+            "    journal.record(names)\n"
+        ).body[0]
+        assert run_taint(func, _SetSpec(), lambda n: None) == []
+
+    def test_reassignment_strong_update_clears_taint(self):
+        func = ast.parse(
+            "def f(journal, xs):\n"
+            "    names = set(xs)\n"
+            "    names = sorted(names)\n"
+            "    journal.record(names)\n"
+        ).body[0]
+        assert run_taint(func, _SetSpec(), lambda n: None) == []
+
+    def test_comprehension_iteration_carries_taint(self):
+        func = ast.parse(
+            "def f(journal, xs):\n"
+            "    names = set(xs)\n"
+            "    journal.record([n for n in names])\n"
+        ).body[0]
+        assert len(run_taint(func, _SetSpec(), lambda n: None)) == 1
+
+    def test_taint_of_return_expression(self):
+        class DivSpec:
+            def source(self, node, resolve):
+                return isinstance(node, ast.BinOp) and isinstance(
+                    node.op, ast.Div
+                )
+
+            def sanitizer(self, call, resolve):
+                return (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "snap"
+                )
+
+            def sink(self, call, resolve):
+                return None
+
+        func = ast.parse(
+            "def f(w, n):\n"
+            "    x = w / n\n"
+            "    return x\n"
+        ).body[0]
+        analysis = TaintAnalysis(func, DivSpec(), lambda n: None)
+        ret = next(
+            u for _, u in analysis.iter_units() if isinstance(u, ast.Return)
+        )
+        assert analysis.taint_of(ret, ret.value)
+
+
+class TestScopeAnalysis:
+    SOURCE = (
+        "_STATE = {}\n"
+        "def _init(payload):\n"
+        "    global _STATE\n"
+        "    _STATE = dict(payload)\n"
+        "def worker(x):\n"
+        "    return _STATE, x\n"
+        "def pure(x):\n"
+        "    return x + 1\n"
+        "def outer():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "    return inner\n"
+    )
+
+    def test_global_usage(self):
+        usage = GlobalUsage(ast.parse(self.SOURCE))
+        assert usage.mutated_globals() == frozenset({"_STATE"})
+        assert usage.reads("worker") == frozenset({"_STATE"})
+        assert usage.reads("pure") == frozenset()
+        assert usage.writes("_init") == frozenset({"_STATE"})
+        assert usage.mutators_of("_STATE") == ("_init",)
+
+    def test_nested_function_detection(self):
+        tree = ast.parse(self.SOURCE)
+        scopes = FunctionScopes(tree)
+        funcs = {
+            node.name: node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert scopes.is_nested(funcs["inner"])
+        assert not scopes.is_nested(funcs["worker"])
+        assert "inner" not in scopes.module_functions
+
+
+# --------------------------------------------------------------- RL011
+
+
+class TestRL011AmbientRNG:
+    def test_flags_numpy_default_rng(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "import numpy as np\n\n"
+            "def f(seed):\n"
+            "    return np.random.default_rng(seed)\n",
+        )
+        assert "RL011" in _codes(findings)
+
+    def test_flags_renamed_random_import(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "from random import shuffle as mix\n\n"
+            "def f(xs):\n"
+            "    mix(xs)\n"
+            "    return xs\n",
+        )
+        assert "RL011" in _codes(findings)
+
+    def test_clean_resolve_rng_and_generator_classes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "import numpy as np\n"
+            "from repro.util.rng import resolve_rng\n\n"
+            "def f(seed):\n"
+            "    rng = resolve_rng(seed)\n"
+            "    bitgen = np.random.PCG64(seed)\n"
+            "    return rng, bitgen\n",
+        )
+        assert "RL011" not in _codes(findings)
+
+    def test_rng_module_itself_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/util/rng.py",
+            "import numpy as np\n\n"
+            "def resolve_rng(seed):\n"
+            "    return np.random.default_rng(seed)\n",
+        )
+        assert "RL011" not in _codes(findings)
+
+    def test_tests_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "tests/unit/test_mod.py",
+            "import random\n\n"
+            "def test_f():\n"
+            "    assert random.random() >= 0\n",
+        )
+        assert "RL011" not in _codes(findings)
+
+
+# --------------------------------------------------------------- RL012
+
+
+class TestRL012NondetIteration:
+    def test_flags_set_iteration_into_journal_record(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(journal, task_id, xs):\n"
+            "    names = set(xs)\n"
+            "    acc = []\n"
+            "    for name in names:\n"
+            "        acc.append(name)\n"
+            "    journal.record(task_id, acc)\n",
+        )
+        assert "RL012" in _codes(findings)
+
+    def test_flags_listdir_into_fingerprint(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "import os\n\n"
+            "def f(root):\n"
+            "    entries = os.listdir(root)\n"
+            "    return compute_fingerprint(entries)\n",
+        )
+        assert "RL012" in _codes(findings)
+
+    def test_sorted_launders(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "import os\n\n"
+            "def f(journal, task_id, root):\n"
+            "    names = sorted(set(os.listdir(root)))\n"
+            "    journal.record(task_id, names)\n",
+        )
+        assert "RL012" not in _codes(findings)
+
+    def test_order_insensitive_aggregate_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(metrics, xs):\n"
+            "    names = set(xs)\n"
+            "    metrics.record(len(names))\n",
+        )
+        assert "RL012" not in _codes(findings)
+
+    def test_plain_dict_iteration_not_a_source(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(journal, task_id, table):\n"
+            "    acc = [k for k in table]\n"
+            "    journal.record(task_id, acc)\n",
+        )
+        assert "RL012" not in _codes(findings)
+
+
+# --------------------------------------------------------------- RL013
+
+
+class TestRL013ExactnessTaint:
+    def test_flags_unsnapped_division_reaching_return(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def my_edge_loads(pairs, paths):\n"
+            "    loads = {}\n"
+            "    for e in pairs:\n"
+            "        loads[e] = 1.0 / len(paths)\n"
+            "    return loads\n",
+        )
+        assert "RL013" in _codes(findings)
+
+    def test_snap_loads_sanitizes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "from repro.load.quantize import snap_loads\n\n"
+            "def my_edge_loads(pairs, paths, q):\n"
+            "    loads = {}\n"
+            "    for e in pairs:\n"
+            "        loads[e] = 1.0 / len(paths)\n"
+            "    loads = snap_loads(loads, q)\n"
+            "    return loads\n",
+        )
+        assert "RL013" not in _codes(findings)
+
+    def test_only_edge_loads_functions_are_checked(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def helper(w, n):\n"
+            "    return w / n\n",
+        )
+        assert "RL013" not in _codes(findings)
+
+    def test_outside_load_package_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/viz/mod.py",
+            "def plot_edge_loads(w, n):\n"
+            "    return w / n\n",
+        )
+        assert "RL013" not in _codes(findings)
+
+
+# --------------------------------------------------------------- RL014
+
+
+class TestRL014WorkerPurity:
+    def test_flags_lambda_worker(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from repro.exec import ResilientExecutor\n\n"
+            "def f(jobs):\n"
+            "    return ResilientExecutor(lambda j: j + 1, jobs)\n",
+        )
+        assert "RL014" in _codes(findings)
+
+    def test_flags_nested_function_worker(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from repro.exec import ResilientExecutor\n\n"
+            "def f(jobs):\n"
+            "    def worker(j):\n"
+            "        return j\n"
+            "    return ResilientExecutor(worker, jobs)\n",
+        )
+        assert "RL014" in _codes(findings)
+
+    def test_flags_mutated_global_reader_without_initializer(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from repro.exec import ResilientExecutor\n\n"
+            "_STATE = {}\n\n"
+            "def _install(payload):\n"
+            "    global _STATE\n"
+            "    _STATE = dict(payload)\n\n"
+            "def _worker(j):\n"
+            "    return _STATE, j\n\n"
+            "def f(jobs):\n"
+            "    return ResilientExecutor(_worker, jobs)\n",
+        )
+        assert "RL014" in _codes(findings)
+
+    def test_sanctioned_initializer_pattern_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from repro.exec import ResilientExecutor\n\n"
+            "_STATE = {}\n\n"
+            "def _install(payload):\n"
+            "    global _STATE\n"
+            "    _STATE = dict(payload)\n\n"
+            "def _worker(j):\n"
+            "    return _STATE, j\n\n"
+            "def f(jobs, payload):\n"
+            "    return ResilientExecutor(\n"
+            "        _worker, jobs, initializer=_install, initargs=(payload,)\n"
+            "    )\n",
+        )
+        assert "RL014" not in _codes(findings)
+
+    def test_pure_module_worker_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from repro.exec import ResilientExecutor\n\n"
+            "def _worker(j):\n"
+            "    return j * 2\n\n"
+            "def f(jobs):\n"
+            "    return ResilientExecutor(_worker, jobs)\n",
+        )
+        assert "RL014" not in _codes(findings)
+
+
+# --------------------------------------------------------------- RL015
+
+
+class TestRL015SpanHygiene:
+    def test_flags_span_assigned_to_variable(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(tracer, n):\n"
+            "    span = tracer.span('work', n=n)\n"
+            "    return n\n",
+        )
+        assert "RL015" in _codes(findings)
+
+    def test_flags_discarded_span_on_current_tracer(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from repro.obs import current_tracer\n\n"
+            "def f(n):\n"
+            "    current_tracer().span('loose')\n"
+            "    return n\n",
+        )
+        assert "RL015" in _codes(findings)
+
+    def test_with_statement_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(tracer, n):\n"
+            "    with tracer.span('work', n=n):\n"
+            "        return n + 1\n",
+        )
+        assert "RL015" not in _codes(findings)
+
+    def test_chained_with_item_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(tracer, n):\n"
+            "    with tracer.span('work').annotate(n=n):\n"
+            "        return n + 1\n",
+        )
+        assert "RL015" not in _codes(findings)
+
+    def test_non_tracer_span_method_ignored(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(layout, n):\n"
+            "    cell = layout.span(n)\n"
+            "    return cell\n",
+        )
+        assert "RL015" not in _codes(findings)
+
+
+# ------------------------------------------------------- rule retrofits
+
+
+class TestResolverRetrofits:
+    def test_rl004_sees_through_renamed_oracle_import(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/viz/mod.py",
+            "from repro.load.edge_loads import edge_loads_reference as oracle\n\n"
+            "def f(p, r):\n"
+            "    return oracle(p, r)\n",
+        )
+        assert "RL004" in _codes(findings)
+
+    def test_rl004_unrelated_name_resolved_elsewhere_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/viz/mod.py",
+            "from repro.viz.palette import ReferenceBackend\n\n"
+            "def f():\n"
+            "    return ReferenceBackend()\n",
+        )
+        assert "RL004" not in _codes(findings)
+
+    def test_rl009_sees_get_context_pool(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "import multiprocessing as mp\n\n"
+            "def f():\n"
+            "    return mp.get_context('spawn').Pool()\n",
+        )
+        assert "RL009" in _codes(findings)
+
+    def test_rl009_renamed_executor_import(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from concurrent.futures import ProcessPoolExecutor as PoolCls\n\n"
+            "def f():\n"
+            "    return PoolCls(max_workers=2)\n",
+        )
+        assert "RL009" in _codes(findings)
+
+    def test_rl010_bare_name_bound_to_wall_clock(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from time import time as now\n\n"
+            "def f(record):\n"
+            "    record(stamp=now)\n",
+        )
+        assert "RL010" in _codes(findings)
+
+    def test_rl010_perf_counter_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "import time\n\n"
+            "def f():\n"
+            "    return time.perf_counter()\n",
+        )
+        assert "RL010" not in _codes(findings)
+
+
+# --------------------------------------------- RL007 factory extension
+
+
+class TestRL007FactoryExtension:
+    def test_flags_attribute_form_defaultdict(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "import collections\n\n"
+            "def f(acc=collections.defaultdict(list)):\n"
+            "    return acc\n",
+        )
+        assert "RL007" in _codes(findings)
+
+    def test_flags_imported_deque(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from collections import deque\n\n"
+            "def f(q=deque()):\n"
+            "    return q\n",
+        )
+        assert "RL007" in _codes(findings)
+
+    def test_flags_tuple_containing_mutables(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(pair=([], {})):\n"
+            "    return pair\n",
+        )
+        assert "RL007" in _codes(findings)
+
+    def test_plain_tuple_of_constants_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def f(shape=(2, 3)):\n"
+            "    return shape\n",
+        )
+        assert "RL007" not in _codes(findings)
+
+    def test_namedtuple_style_factory_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "import collections\n\n"
+            "def f(point=collections.namedtuple('P', 'x y')(0, 0)):\n"
+            "    return point\n",
+        )
+        assert "RL007" not in _codes(findings)
+
+
+# --------------------------------------------------- multiline noqa
+
+
+class TestMultilineNoqa:
+    def test_pragma_on_decorator_suppresses_def_finding(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def deco(f):\n"
+            "    return f\n\n\n"
+            "@deco  # repro: noqa(RL007)\n"
+            "def f(acc=[]):\n"
+            "    return acc\n",
+        )
+        assert "RL007" not in _codes(findings)
+
+    def test_pragma_inside_parenthesized_import(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "from collections import (\n"
+            "    OrderedDict,  # repro: noqa(RL006)\n"
+            "    deque,\n"
+            ")\n\n"
+            "def f():\n"
+            "    return deque()\n",
+        )
+        assert "RL006" not in _codes(findings)
+
+    def test_pragma_does_not_blanket_the_body(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exp/mod.py",
+            "def deco(f):\n"
+            "    return f\n\n\n"
+            "@deco  # repro: noqa(RL007)\n"
+            "def f(n):\n"
+            "    acc = []\n"
+            "    def g(xs=[]):\n"
+            "        return xs\n"
+            "    return acc, g\n",
+        )
+        # the nested def's own mutable default is NOT under the header span
+        assert "RL007" in _codes(findings)
+
+
+# ------------------------------------------------------------- autofix
+
+
+class TestAutofix:
+    FIXTURE = (
+        '"""Demo."""\n\n'
+        "import os\n"
+        "import sys\n"
+        "from collections import (\n"
+        "    OrderedDict,\n"
+        "    deque,\n"
+        ")\n\n\n"
+        "def f(items=[], *, extra=deque()):\n"
+        '    """Doc."""\n'
+        "    items.append(os.sep)\n"
+        "    return items, extra\n"
+    )
+
+    def _write(self, tmp_path: Path) -> Path:
+        target = tmp_path / "pkg" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(self.FIXTURE, encoding="utf-8")
+        return target
+
+    def test_fix_removes_unused_and_rewrites_defaults(self, tmp_path):
+        target = self._write(tmp_path)
+        result = fix_paths([target], write=True)
+        fixed = target.read_text(encoding="utf-8")
+        assert "import sys" not in fixed
+        assert "OrderedDict" not in fixed
+        assert "from collections import deque" in fixed
+        assert "def f(items=None, *, extra=None):" in fixed
+        assert "    if items is None:\n        items = []\n" in fixed
+        assert "    if extra is None:\n        extra = deque()\n" in fixed
+        # guard lands after the docstring
+        doc_at = fixed.index('"""Doc."""')
+        assert fixed.index("if items is None") > doc_at
+        assert result.total_fixes == 4
+        ast.parse(fixed)  # still valid python
+
+    def test_fixed_file_lints_clean(self, tmp_path):
+        target = self._write(tmp_path)
+        fix_paths([target], write=True)
+        findings = lint_file(target)
+        assert "RL006" not in _codes(findings)
+        assert "RL007" not in _codes(findings)
+
+    def test_fix_is_idempotent(self, tmp_path):
+        target = self._write(tmp_path)
+        fix_paths([target], write=True)
+        once = target.read_text(encoding="utf-8")
+        second = fix_paths([target], write=True)
+        assert target.read_text(encoding="utf-8") == once
+        assert second.total_fixes == 0
+
+    def test_dry_run_diff_leaves_file_untouched(self, tmp_path):
+        target = self._write(tmp_path)
+        result = fix_paths([target], write=False)
+        assert target.read_text(encoding="utf-8") == self.FIXTURE
+        (fix,) = result.changed_files
+        diff = fix.diff()
+        assert diff.startswith("--- a/")
+        assert "+def f(items=None, *, extra=None):" in diff
+
+    def test_noqa_suppressed_findings_not_fixed(self, tmp_path):
+        target = tmp_path / "pkg" / "mod.py"
+        target.parent.mkdir(parents=True)
+        source = "import sys  # repro: noqa(RL006)\n"
+        target.write_text(source, encoding="utf-8")
+        fix_paths([target], write=True)
+        assert target.read_text(encoding="utf-8") == source
+
+    def test_runner_diff_and_fix_flags(self, tmp_path, capsys):
+        from repro.devtools.lint.__main__ import run
+
+        target = self._write(tmp_path)
+        assert run([str(target), "--diff"]) == 0
+        out = capsys.readouterr().out
+        assert "+def f(items=None, *, extra=None):" in out
+        assert target.read_text(encoding="utf-8") == self.FIXTURE
+        assert run([str(target), "--fix"]) == 0
+        assert "def f(items=None, *, extra=None):" in target.read_text(
+            encoding="utf-8"
+        )
+
+
+# ------------------------------------------------------------ baseline
+
+
+class TestBaseline:
+    def _report(self, tmp_path: Path) -> LintReport:
+        target = tmp_path / "pkg" / "legacy.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("import sys\n\n\ndef f(x=[]):\n    return x\n")
+        return lint_paths([target])
+
+    def test_write_then_apply_absorbs_all(self, tmp_path):
+        report = self._report(tmp_path)
+        assert report.findings
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report)
+        allow = load_baseline(path)
+        result = apply_baseline(report.findings, allow)
+        assert result.new_findings == []
+        assert len(result.suppressed) == len(report.findings)
+        assert result.stale == []
+
+    def test_new_finding_escapes_baseline(self, tmp_path):
+        report = self._report(tmp_path)
+        allow = baseline_from_findings(report.findings)
+        extra = Finding(
+            path=report.findings[0].path,
+            line=99,
+            col=0,
+            code="RL007",
+            message="another one",
+        )
+        result = apply_baseline(report.findings + [extra], allow)
+        assert len(result.new_findings) == 1
+
+    def test_stale_allowances_reported(self, tmp_path):
+        report = self._report(tmp_path)
+        allow = baseline_from_findings(report.findings)
+        allow["pkg/gone.py"] = {"RL001": 2}
+        result = apply_baseline(report.findings, allow)
+        assert result.stale == ["pkg/gone.py:RL001", "pkg/gone.py:RL001"] or (
+            result.stale == ["pkg/gone.py:RL001"]
+        )
+
+    def test_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "allow": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_runner_baseline_flags(self, tmp_path, capsys):
+        from repro.devtools.lint.__main__ import run
+
+        target = tmp_path / "pkg" / "legacy.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def f(x=[]):\n    return x\n")
+        baseline = tmp_path / "baseline.json"
+        assert run([str(target), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert run([str(target), "--baseline", str(baseline)]) == 0
+        target.write_text(
+            "def f(x=[]):\n    return x\n\n\ndef g(y={}):\n    return y\n"
+        )
+        capsys.readouterr()
+        assert run([str(target), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "1 finding(s)" in out
+
+
+# ------------------------------------------------------ JSON round-trip
+
+
+class TestJsonRoundTrip:
+    def test_render_parse_round_trip(self, tmp_path):
+        target = tmp_path / "pkg" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import sys\n\n\ndef f(x=[]):\n    return x\n")
+        report = lint_paths([target])
+        assert report.findings
+        parsed = parse_json(render_json(report))
+        assert parsed.findings == report.findings
+        assert parsed.files_scanned == report.files_scanned
+        assert parsed.counts == report.counts
+
+    def test_json_snapshot_shape(self):
+        report = LintReport(
+            findings=[
+                Finding(
+                    path="src/repro/mod.py",
+                    line=3,
+                    col=4,
+                    code="RL011",
+                    message="ambient RNG",
+                )
+            ],
+            files_scanned=1,
+        )
+        doc = json.loads(render_json(report))
+        assert doc == {
+            "files_scanned": 1,
+            "total": 1,
+            "counts": {"RL011": 1},
+            "findings": [
+                {
+                    "path": "src/repro/mod.py",
+                    "line": 3,
+                    "col": 4,
+                    "code": "RL011",
+                    "message": "ambient RNG",
+                }
+            ],
+        }
