@@ -6,10 +6,9 @@ performance regressions in the machinery behind the experiments are
 visible.
 """
 
-import time
-
 import numpy as np
 import pytest
+from _timing import elapsed_seconds
 
 from repro.bisection.dimension_cut import best_dimension_cut
 from repro.bisection.hyperplane import hyperplane_bisection
@@ -73,9 +72,9 @@ def test_displacement_cache_speedup(benchmark):
     placement = linear_placement(torus)
     routing = OrderedDimensionalRouting(2)
 
-    t0 = time.perf_counter()
-    oracle = edge_loads_reference(placement, routing)
-    oracle_seconds = time.perf_counter() - t0
+    oracle_seconds, oracle = elapsed_seconds(
+        lambda: edge_loads_reference(placement, routing)
+    )
 
     def cold_displacement():
         return LoadEngine("displacement").edge_loads(placement, routing)

@@ -21,10 +21,10 @@ must not drift.
 from __future__ import annotations
 
 import itertools
-import time
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
+from _timing import best_of
 
 from repro.exec import ExecPolicy, ExecTask, ResilientExecutor
 from repro.placements.catalog import (
@@ -115,17 +115,8 @@ def test_resilient_executor_catalog_spans(benchmark):
 def test_overhead_ratio_pinned(capsys):
     """Resilient wall-clock within 5% of the bare pool (min of 3 runs)."""
 
-    def _best_of(fn, rounds=3):
-        best = float("inf")
-        result = None
-        for _ in range(rounds):
-            start = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - start)
-        return best, result
-
-    bare_time, bare = _best_of(_run_bare_pool)
-    resilient_time, resilient = _best_of(_run_resilient)
+    bare_time, bare = best_of(_run_bare_pool)
+    resilient_time, resilient = best_of(_run_resilient)
     assert _merge(resilient) == _merge(bare) == _serial_reference()
     ratio = resilient_time / bare_time
     with capsys.disabled():

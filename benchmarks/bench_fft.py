@@ -15,10 +15,10 @@ Run with::
 
 import json
 import pathlib
-import time
 
 import numpy as np
 import pytest
+from _timing import warm_seconds
 
 from repro.load.engine import LoadEngine
 from repro.load.odr_loads import odr_edge_loads
@@ -39,17 +39,6 @@ BACKENDS = ("reference", "vectorized", "fft", "displacement")
 def _pairs(placement) -> int:
     m = len(placement)
     return m * (m - 1)
-
-
-def _warm_seconds(engine, placement, routing, repeats: int = 15) -> float:
-    """Warm min-of-N wall time of one ``edge_loads`` call."""
-    engine.edge_loads(placement, routing)  # build caches / plans
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        engine.edge_loads(placement, routing)
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 @pytest.mark.benchmark(group="engine-fft")
@@ -86,7 +75,7 @@ def test_fft_speedup_over_displacement(benchmark):
 
     fft = LoadEngine("fft")
     displacement = LoadEngine("displacement")
-    displacement_seconds = _warm_seconds(displacement, placement, routing)
+    displacement_seconds = warm_seconds(displacement, placement, routing)
 
     fft.edge_loads(placement, routing)  # warm before benchmarking
     loads = benchmark(fft.edge_loads, placement, routing)
@@ -135,7 +124,7 @@ def write_baseline() -> dict:
             # record it only on the small torus.
             if name == "reference" and k > 16:
                 continue
-            seconds = _warm_seconds(
+            seconds = warm_seconds(
                 LoadEngine(name),
                 placement,
                 routing,

@@ -19,9 +19,8 @@ tracer is an observer, never a participant.
 
 from __future__ import annotations
 
-import time
-
 import pytest
+from _timing import best_of as _best_of
 
 from repro.obs import JsonlTraceSink, Tracer, current_tracer, using_tracer
 from repro.placements.exact_search import exact_global_minimum
@@ -51,16 +50,6 @@ def _result_key(result):
         result.num_optimal,
         result.counters,
     )
-
-
-def _best_of(fn, rounds=3):
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 @pytest.mark.benchmark(group="obs-overhead")

@@ -179,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit search heartbeat lines to stderr while certifying",
     )
+    _add_batch_args(p_certify)
     _add_exec_args(p_certify)
     _add_checkpoint_args(p_certify)
     _add_obs_args(p_certify)
@@ -194,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the repo's semantic static-analysis rules (RL001-RL015)",
+        help="run the repo's semantic static-analysis rules (RL001-RL016)",
     )
     p_lint.add_argument(
         "paths",
@@ -245,6 +246,24 @@ def _add_torus_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "placements per spectral block in batched evaluation "
+            "(default 64)"
+        ),
+    )
+    parser.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="disable spectral plan reuse across engine calls",
+    )
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
@@ -262,19 +281,43 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
             "cores); implies --engine parallel when --engine is auto"
         ),
     )
+    _add_batch_args(parser)
+
+
+def _batch_context(args: argparse.Namespace):
+    """Plan-cache/batch-size context for --batch-size / --no-plan-cache."""
+    from contextlib import ExitStack
+
+    from repro.load import plancache
+
+    stack = ExitStack()
+    if getattr(args, "no_plan_cache", False):
+        stack.enter_context(
+            plancache.using_plan_cache(plancache.NULL_PLAN_CACHE)
+        )
+    batch = getattr(args, "batch_size", None)
+    if batch is not None:
+        previous = plancache.default_batch_size()
+        plancache.set_default_batch_size(batch)
+        stack.callback(plancache.set_default_batch_size, previous)
+    return stack
 
 
 def _engine_context(args: argparse.Namespace):
     """The default-engine context for a subcommand's --engine/--jobs flags."""
+    from contextlib import ExitStack
+
     from repro.load.engine import LoadEngine, using_engine
 
     name = getattr(args, "engine", "auto")
     jobs = getattr(args, "jobs", None)
     if jobs is not None and name == "auto":
         name = "parallel"
-    if name == "auto":
-        return using_engine(None)
-    return using_engine(LoadEngine(name, jobs=jobs))
+    stack = ExitStack()
+    if name != "auto":
+        stack.enter_context(using_engine(LoadEngine(name, jobs=jobs)))
+    stack.enter_context(_batch_context(args))
+    return stack
 
 
 def _add_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -597,21 +640,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
-    from repro.load.engine import LoadEngine
-    from repro.placements.exact_search import exact_global_minimum
-    from repro.placements.linear import linear_placement
-    from repro.routing.odr import OrderedDimensionalRouting
+    from repro.placements.exact_search import (
+        exact_global_minimum,
+        screen_initial_upper_bound,
+    )
     from repro.torus.topology import Torus
 
     torus = Torus(args.k, args.d)
     size = args.size if args.size is not None else args.k ** (args.d - 1)
     upper = args.ub
-    if upper is None and args.mode == "bound" and size == args.k ** (args.d - 1):
-        upper = LoadEngine("fft").emax(
-            linear_placement(torus), OrderedDimensionalRouting(args.d)
-        )
-        print(f"incumbent seed  : linear placement E_max = {upper:g}")
-    with _obs_context(args), _exec_context(args):
+    with _obs_context(args), _exec_context(args), _batch_context(args):
+        if upper is None and args.mode == "bound":
+            screened = screen_initial_upper_bound(
+                torus, size, batch_size=args.batch_size
+            )
+            if screened is not None:
+                upper, seed = screened
+                print(
+                    f"incumbent seed  : {seed.name} E_max = {upper:g} "
+                    "(batched candidate screen)"
+                )
         result = exact_global_minimum(
             torus, size, mode=args.mode, processes=args.jobs,
             initial_upper_bound=upper,

@@ -36,7 +36,14 @@ from repro.load.udr_loads import udr_edge_loads, udr_sampled_edge_loads
 from repro.load import engine
 from repro.load.engine import LoadEngine
 from repro.load.report import LoadReport, load_report
-from repro.load import formulas, bounds, quantize
+from repro.load import formulas, bounds, quantize, plancache
+from repro.load.plancache import (
+    NULL_PLAN_CACHE,
+    PlanCache,
+    current_plan_cache,
+    set_plan_cache,
+    using_plan_cache,
+)
 from repro.load.traffic import (
     complete_exchange_weights,
     permutation_traffic_weights,
@@ -56,6 +63,12 @@ __all__ = [
     "formulas",
     "bounds",
     "quantize",
+    "plancache",
+    "PlanCache",
+    "NULL_PLAN_CACHE",
+    "current_plan_cache",
+    "set_plan_cache",
+    "using_plan_cache",
     "complete_exchange_weights",
     "permutation_traffic_weights",
     "hotspot_traffic_weights",

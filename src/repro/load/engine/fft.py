@@ -65,20 +65,21 @@ from repro.load.quantize import (
     LOAD_SNAP_TOLERANCE,
     QUANTUM_DENOMINATOR_CAP,
 )
+from repro.load.plancache import (
+    MAX_PLAN_ENTRIES,
+    SpectralPlan,
+    current_plan_cache,
+)
 from repro.obs.tracer import current_tracer
 from repro.placements.base import Placement
 from repro.routing.base import RoutingAlgorithm
-from repro.torus.topology import Torus
 from repro.util.itertools_ext import ordered_pair_index_arrays
 
-__all__ = ["FFTBackend", "fft_edge_loads"]
+__all__ = ["FFTBackend", "fft_edge_loads", "fft_edge_loads_many"]
 
 #: classes transformed per batch in the general regime — bounds the
 #: ``(chunk, 2d, k^d)`` scratch tensors to a few megabytes.
 _CLASS_CHUNK = 32
-
-#: cached spectral plans kept per backend before the cache is cleared.
-_MAX_PLANS = 64
 
 
 # ------------------------------------------------------------ class table
@@ -213,19 +214,110 @@ def fft_edge_loads(
     :func:`repro.load.edge_loads.edge_loads_reference` for any
     translation-invariant routing; after the integer snap-back the values
     land on the same rational grid the oracle's sums approximate.
+    ``cache`` overrides the path-template cache of the ambient plan
+    (kept for callers that manage their own templates).
     """
+    plan = _resolve_plan(placement, routing, pair_weights)
+    if cache is not None:
+        plan = SpectralPlan(placement.torus, routing, plan.fingerprint)
+        plan.path_cache = cache
     loads, _drift, _fast = _fft_edge_loads_impl(
-        placement, routing, pair_weights, cache
+        placement, routing, pair_weights, plan
     )
     return loads
+
+
+def fft_edge_loads_many(
+    placements: list[Placement],
+    routing: RoutingAlgorithm,
+    pair_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-edge loads of a placement batch, ``(B, num_edges)``.
+
+    Bit-identical to stacking :func:`fft_edge_loads` rows; see
+    :meth:`FFTBackend.compute_many` for the batching strategy.
+    """
+    return FFTBackend().compute_many(
+        placements, routing, pair_weights=pair_weights
+    )
+
+
+def _resolve_plan(
+    placement: Placement,
+    routing: RoutingAlgorithm,
+    pair_weights: np.ndarray | None,
+) -> SpectralPlan:
+    """The ambient cache's plan for this configuration."""
+    traffic = "complete-exchange" if pair_weights is None else "weighted"
+    return current_plan_cache().get(placement.torus, routing, traffic)
+
+
+def _plan_tables(
+    plan: SpectralPlan,
+    strides: np.ndarray,
+    codes: np.ndarray,
+    rep_disp: np.ndarray,
+) -> tuple[_ClassTable, list[tuple[int, np.ndarray]]]:
+    """Class table + denominator groups, memoized on the plan.
+
+    Both depend only on the displacement-class set (the sorted codes),
+    never on which placement produced it or on traffic weights, so every
+    placement sharing a difference set shares one entry — repeated
+    same-plan calls skip the template scatter entirely.
+    """
+    key = codes.tobytes()
+    entry = plan.class_tables.get(key)
+    if entry is None:
+        table = _build_class_table(plan.path_cache, strides, codes, rep_disp)
+        entry = (table, _denominator_groups(table.denominators))
+        if len(plan.class_tables) >= MAX_PLAN_ENTRIES:
+            plan.class_tables.clear()
+        plan.class_tables[key] = entry
+    return entry
+
+
+def _uniform_spectra(
+    plan: SpectralPlan,
+    table: _ClassTable,
+    groups: list[tuple[int, np.ndarray]],
+    shape: tuple[int, ...],
+    two_d: int,
+    num_nodes: int,
+) -> list[tuple[int, np.ndarray]]:
+    """Forward usage spectra of one class set, memoized on the plan."""
+    ckey = table.codes.tobytes()
+    spectra = plan.spectra.get(ckey)
+    if spectra is None:
+        spectra = [
+            (
+                quantum,
+                _spectrum(
+                    _scatter_usage(table, rows, quantum, two_d, num_nodes),
+                    shape,
+                ),
+            )
+            for quantum, rows in groups
+        ]
+        if len(plan.spectra) >= MAX_PLAN_ENTRIES:
+            plan.spectra.clear()
+        plan.spectra[ckey] = spectra
+    return spectra
+
+
+def _remember_placement_spectra(
+    plan: SpectralPlan, placement: Placement, spectra: list
+) -> None:
+    """Alias the spectra under the placement's id-bytes for warm calls."""
+    if len(plan.placement_spectra) >= MAX_PLAN_ENTRIES:
+        plan.placement_spectra.clear()
+    plan.placement_spectra[placement.node_ids.tobytes()] = spectra
 
 
 def _fft_edge_loads_impl(
     placement: Placement,
     routing: RoutingAlgorithm,
     pair_weights: np.ndarray | None,
-    cache: DisplacementPathCache | None,
-    plan_store: "dict | None" = None,
+    plan: SpectralPlan,
 ) -> tuple[np.ndarray, float, bool]:
     torus = placement.torus
     k, d = torus.k, torus.d
@@ -234,21 +326,18 @@ def _fft_edge_loads_impl(
     coords = placement.coords()
     m = coords.shape[0]
     pair_weights = validate_pair_weights(pair_weights, m)
-    if cache is None:
-        cache = DisplacementPathCache(torus, routing)
     strides = np.array([k ** (d - 1 - i) for i in range(d)], dtype=np.int64)
 
-    plan_key = (id(routing), placement.node_ids.tobytes())
-    plan = (
+    spectra = (
         None
-        if plan_store is None or pair_weights is not None
-        else plan_store.get(plan_key)
+        if pair_weights is not None
+        else plan.placement_spectra.get(placement.node_ids.tobytes())
     )
-    if plan is not None:
+    if spectra is not None:
         indicator = np.zeros(num_nodes, dtype=np.float64)
         indicator[placement.node_ids] = 1.0
         loads, drift = _convolve_groups(
-            _spectrum(indicator, shape), plan, shape, snap=True
+            _spectrum(indicator, shape), spectra, shape, snap=True
         )
         return loads.T.ravel(), drift, True
 
@@ -264,8 +353,7 @@ def _fft_edge_loads_impl(
     uniq_codes, first, inverse = np.unique(
         codes, return_index=True, return_inverse=True
     )
-    table = _build_class_table(cache, strides, uniq_codes, disp[first])
-    groups = _denominator_groups(table.denominators)
+    table, groups = _plan_tables(plan, strides, uniq_codes, disp[first])
     integral = weights is None or bool(
         np.all(np.rint(weights) == weights)
     )
@@ -273,20 +361,10 @@ def _fft_edge_loads_impl(
     # uniform regime: |P - P| = |P| means P is a coset of a subgroup, so
     # every class's source field is the placement indicator itself.
     if weights is None and uniq_codes.size == m - 1:
-        spectra = [
-            (
-                quantum,
-                _spectrum(
-                    _scatter_usage(table, rows, quantum, two_d, num_nodes),
-                    shape,
-                ),
-            )
-            for quantum, rows in groups
-        ]
-        if plan_store is not None:
-            if len(plan_store) >= _MAX_PLANS:
-                plan_store.clear()
-            plan_store[plan_key] = spectra
+        spectra = _uniform_spectra(
+            plan, table, groups, shape, two_d, num_nodes
+        )
+        _remember_placement_spectra(plan, placement, spectra)
         indicator = np.zeros(num_nodes, dtype=np.float64)
         indicator[placement.node_ids] = 1.0
         loads, drift = _convolve_groups(
@@ -340,31 +418,157 @@ def _fft_edge_loads_impl(
     return loads_total.T.ravel(), drift, False  # repro: noqa(RL013)
 
 
+# --------------------------------------------------------- batched kernel
+
+
+def _convolve_groups_batch(
+    indicator_hat: np.ndarray,
+    group_spectra: list[tuple[int, np.ndarray]],
+    shape: tuple[int, ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Correlate a stacked indicator spectrum against cached usage spectra.
+
+    ``indicator_hat`` carries the batch on its leading axis; the product
+    broadcasts every placement against every edge channel, so the whole
+    batch pays **one** inverse transform per denominator group.  Returns
+    ``(loads (B, 2d, k^d), per-placement snap drift (B,))``.
+    """
+    batch = indicator_hat.shape[0]
+    loads: np.ndarray | None = None
+    drift = np.zeros(batch, dtype=np.float64)
+    for quantum, usage_hat in group_spectra:
+        conv = _inverse(
+            indicator_hat[:, None, ...] * usage_hat[None, ...], shape
+        )
+        snapped = np.rint(conv)
+        np.maximum(
+            drift,
+            np.abs(conv - snapped).reshape(batch, -1).max(axis=1),
+            out=drift,
+        )
+        part = snapped / quantum if quantum != 1 else snapped
+        loads = part if loads is None else loads + part
+    assert loads is not None
+    return loads, drift
+
+
+def _fft_edge_loads_many_impl(
+    placements: list[Placement],
+    routing: RoutingAlgorithm,
+    pair_weights: np.ndarray | None,
+    plan: SpectralPlan,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched per-edge loads; ``(loads (B, E), drifts (B,), fast (B,))``.
+
+    Placements sharing a displacement-class set (every coset of one
+    subgroup — e.g. all offsets of a linear placement family) are stacked
+    on a leading batch axis and resolved by a single ``rfftn``/inverse
+    pair against the plan's cached usage spectrum.  Non-coset placements
+    and weighted traffic fall through to the per-placement general path,
+    which stays bit-identical to the sequential call by construction.
+    """
+    torus = placements[0].torus
+    shape, two_d = torus.shape, 2 * torus.d
+    num_nodes = torus.num_nodes
+    batch = len(placements)
+    loads_out = np.zeros((batch, torus.num_edges), dtype=np.float64)
+    drifts = np.zeros(batch, dtype=np.float64)
+    fast = np.zeros(batch, dtype=bool)
+
+    # group batch rows by the spectra object serving them (one group per
+    # distinct difference set), falling back per placement otherwise.
+    groups: dict[int, tuple[list, list[int]]] = {}
+    strides = np.array(
+        [torus.k ** (torus.d - 1 - i) for i in range(torus.d)],
+        dtype=np.int64,
+    )
+    for b, placement in enumerate(placements):
+        spectra = None
+        if pair_weights is None:
+            spectra = plan.placement_spectra.get(
+                placement.node_ids.tobytes()
+            )
+            if spectra is None:
+                spectra = _classify_for_batch(placement, plan, strides)
+        if spectra is None:
+            loads_out[b], drifts[b], fast[b] = _fft_edge_loads_impl(
+                placement, routing, pair_weights, plan
+            )
+        else:
+            groups.setdefault(id(spectra), (spectra, []))[1].append(b)
+
+    for spectra, rows in groups.values():
+        indicators = np.zeros((len(rows), num_nodes), dtype=np.float64)
+        for i, b in enumerate(rows):
+            indicators[i, placements[b].node_ids] = 1.0
+        block, block_drift = _convolve_groups_batch(
+            _spectrum(indicators, shape), spectra, shape
+        )
+        loads_out[rows] = np.swapaxes(block, 1, 2).reshape(len(rows), -1)
+        drifts[rows] = block_drift
+        fast[rows] = True
+    return loads_out, drifts, fast
+
+
+def _classify_for_batch(
+    placement: Placement, plan: SpectralPlan, strides: np.ndarray
+) -> "list[tuple[int, np.ndarray]] | None":
+    """Uniform-regime spectra for one batch member, or ``None``.
+
+    The coset test and spectra construction mirror the single-placement
+    path exactly (same plan memo keys), so batched and sequential calls
+    share — and warm — the same cache entries.
+    """
+    cached = plan.placement_spectra.get(placement.node_ids.tobytes())
+    if cached is not None:
+        return cached
+    coords = placement.coords()
+    m = coords.shape[0]
+    if m < 2:
+        return None
+    k = plan.torus.k
+    pi, qi = ordered_pair_index_arrays(m)
+    disp = np.mod(coords[qi] - coords[pi], k)
+    codes = disp @ strides
+    uniq_codes, first = np.unique(codes, return_index=True)
+    if uniq_codes.size != m - 1:
+        return None
+    table, groups = _plan_tables(plan, strides, uniq_codes, disp[first])
+    shape, two_d = plan.torus.shape, 2 * plan.torus.d
+    spectra = _uniform_spectra(
+        plan, table, groups, shape, two_d, plan.torus.num_nodes
+    )
+    _remember_placement_spectra(plan, placement, spectra)
+    return spectra
+
+
 # --------------------------------------------------------------- backend
 
 
 class FFTBackend(LoadBackend):
     """Spectral backend built on :func:`fft_edge_loads`.
 
-    Caches path templates per ``(torus, routing)`` like the displacement
-    backend, plus the transformed aggregate-usage spectra per uniform
-    placement, so sweeps and search loops that re-evaluate the same
-    configuration pay only one forward transform, one product, and one
-    inverse transform per call.
+    All configuration-dependent state — path templates, displacement
+    class tables, forward usage spectra — lives in the ambient
+    content-addressed :class:`~repro.load.plancache.PlanCache` (see
+    :func:`~repro.load.plancache.using_plan_cache`), so sweeps and
+    search loops that re-evaluate the same configuration pay only one
+    forward transform, one product, and one inverse transform per call —
+    across backend instances, engine facades, and (via initializer-
+    populated worker caches) process-pool fan-outs.
 
     Attributes
     ----------
     last_snap_drift:
         Largest absolute correction the integer snap-back applied on the
-        most recent :meth:`compute` call — the quantity the
-        :data:`~repro.load.quantize.LOAD_SNAP_TOLERANCE` contract bounds.
+        most recent :meth:`compute` / :meth:`compute_many` call — the
+        quantity the :data:`~repro.load.quantize.LOAD_SNAP_TOLERANCE`
+        contract bounds.
     """
 
     name = "fft"
 
     def __init__(self) -> None:
-        self._caches: dict[tuple[Torus, int], DisplacementPathCache] = {}
-        self._plans: dict[tuple[Torus, int], dict] = {}
         self.last_snap_drift: float = 0.0
 
     def supports(
@@ -375,26 +579,29 @@ class FFTBackend(LoadBackend):
     ) -> bool:
         return bool(getattr(routing, "translation_invariant", False))
 
-    def compute(
+    def _require_supported(
         self,
         placement: Placement,
         routing: RoutingAlgorithm,
-        pair_weights: np.ndarray | None = None,
-    ) -> np.ndarray:
+        pair_weights: np.ndarray | None,
+    ) -> None:
         if not self.supports(placement, routing, pair_weights):
             raise EngineError(
                 f"routing {routing.name!r} is not translation-invariant; "
                 "the FFT correlation backend would be unsound for it — "
                 "use the 'reference' backend (the 'auto' engine does so)"
             )
-        key = (placement.torus, id(routing))
-        cache = self._caches.get(key)
-        if cache is None or cache.routing is not routing:
-            cache = DisplacementPathCache(placement.torus, routing)
-            self._caches[key] = cache
-            self._plans[key] = {}
+
+    def compute(
+        self,
+        placement: Placement,
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        self._require_supported(placement, routing, pair_weights)
+        plan = _resolve_plan(placement, routing, pair_weights)
         loads, drift, fast = _fft_edge_loads_impl(
-            placement, routing, pair_weights, cache, self._plans[key]
+            placement, routing, pair_weights, plan
         )
         self.last_snap_drift = drift
         if drift >= LOAD_SNAP_TOLERANCE:
@@ -405,7 +612,10 @@ class FFTBackend(LoadBackend):
             if tracer.enabled:
                 tracer.metrics.counter("engine.fft.snap_fallbacks").add(1)
             return displacement_edge_loads(
-                placement, routing, pair_weights=pair_weights, cache=cache
+                placement,
+                routing,
+                pair_weights=pair_weights,
+                cache=plan.path_cache,
             )
         tracer = current_tracer()
         if tracer.enabled:
@@ -413,4 +623,46 @@ class FFTBackend(LoadBackend):
                 "engine.fft.fast_path" if fast else "engine.fft.general_path"
             ).add(1)
             tracer.metrics.gauge("engine.fft.snap_drift").set(drift)
+        return loads
+
+    def compute_many(
+        self,
+        placements: list[Placement],
+        routing: RoutingAlgorithm,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        self._require_supported(placements[0], routing, pair_weights)
+        plan = _resolve_plan(placements[0], routing, pair_weights)
+        loads, drifts, fast = _fft_edge_loads_many_impl(
+            placements, routing, pair_weights, plan
+        )
+        self.last_snap_drift = float(drifts.max(initial=0.0))
+        tracer = current_tracer()
+        fallbacks = np.flatnonzero(drifts >= LOAD_SNAP_TOLERANCE)
+        for b in fallbacks:
+            # per-placement drift fallback: only the rows that broke the
+            # snap contract pay the exact displacement evaluation.
+            loads[b] = displacement_edge_loads(
+                placements[b],
+                routing,
+                pair_weights=pair_weights,
+                cache=plan.path_cache,
+            )
+        if tracer.enabled:
+            metrics = tracer.metrics
+            if fallbacks.size:
+                metrics.counter("engine.fft.snap_fallbacks").add(
+                    int(fallbacks.size)
+                )
+            ok = np.setdiff1d(
+                np.arange(len(placements)), fallbacks, assume_unique=True
+            )
+            n_fast = int(fast[ok].sum())
+            if n_fast:
+                metrics.counter("engine.fft.fast_path").add(n_fast)
+            if ok.size - n_fast:
+                metrics.counter("engine.fft.general_path").add(
+                    int(ok.size) - n_fast
+                )
+            metrics.gauge("engine.fft.snap_drift").set(self.last_snap_drift)
         return loads

@@ -84,6 +84,7 @@ __all__ = [
     "SearchCounters",
     "ExactSearchResult",
     "exact_global_minimum",
+    "screen_initial_upper_bound",
     "MAX_EXACT_SEARCH",
 ]
 
@@ -95,6 +96,10 @@ _SPLIT_DEPTH = 3
 
 #: minimum seconds between progress heartbeats on stderr.
 _HEARTBEAT_SECONDS = 5.0
+
+#: extra linear-coefficient families screened per torus when seeding the
+#: bound-mode incumbent (beyond the paper's all-ones default).
+_SCREEN_COEFFICIENT_VARIANTS = 4
 
 _TOL = 1e-12
 
@@ -498,6 +503,74 @@ def _decode_partial(data: dict) -> dict:
     }
 
 
+# -------------------------------------------------- incumbent screening
+
+
+def _candidate_leaf_placements(torus: Torus, size: int) -> list[Placement]:
+    """Structured size-``size`` placements worth screening as incumbents.
+
+    Only shapes the paper gives closed forms for: the linear families of
+    Definition 10 (all ``k`` offsets of all-ones coefficients plus a few
+    coefficient variants) when ``size == k^{d-1}``, and the 2-D diagonal
+    / antidiagonal shifts (the same size on ``T_k^2``).  Empty when no
+    structured family matches — the caller then searches unseeded.
+    """
+    k, d = torus.k, torus.d
+    if size != k ** (d - 1) or size < 2:
+        return []
+    from repro.placements.diagonal import (
+        antidiagonal_placement_2d,
+        shifted_diagonal_placement,
+    )
+    from repro.placements.linear import linear_placement
+
+    coefficient_sets: list[list[int]] = [[1] * d]
+    units = [c for c in range(2, k) if math.gcd(c, k) == 1][
+        : _SCREEN_COEFFICIENT_VARIANTS
+    ]
+    coefficient_sets.extend([1] * (d - 1) + [c] for c in units)
+    candidates = [
+        linear_placement(torus, coefficients=coeffs, offset=offset)
+        for coeffs in coefficient_sets
+        for offset in range(k)
+    ]
+    if d == 2:
+        candidates.extend(shifted_diagonal_placement(torus, s) for s in range(k))
+        candidates.extend(antidiagonal_placement_2d(torus, s) for s in range(k))
+    return candidates
+
+
+def screen_initial_upper_bound(
+    torus: Torus,
+    size: int,
+    batch_size: int | None = None,
+) -> tuple[float, Placement] | None:
+    """Batched incumbent seed for ``bound``-mode certification.
+
+    Evaluates every structured candidate from
+    :func:`_candidate_leaf_placements` in one
+    :meth:`~repro.load.engine.LoadEngine.emax_many` block (shared
+    spectral plan, one stacked transform per coset family) and returns
+    the best ``(E_max, placement)`` — achievable by construction, so
+    seeding :func:`exact_global_minimum` with it keeps the search exact
+    while pruning at least as hard as the classic linear seed.  Returns
+    ``None`` when no structured family matches ``size``.
+    """
+    candidates = _candidate_leaf_placements(torus, size)
+    if not candidates:
+        return None
+    from repro.load.engine import LoadEngine
+    from repro.routing.odr import OrderedDimensionalRouting
+
+    emaxes = LoadEngine("fft").emax_many(
+        candidates,
+        OrderedDimensionalRouting(torus.d),
+        batch_size=batch_size,
+    )
+    best = int(np.argmin(emaxes))
+    return float(emaxes[best]), candidates[best]
+
+
 # ----------------------------------------------------------------- driver
 
 
@@ -550,7 +623,12 @@ def exact_global_minimum(
         :math:`E_{max}` actually achieved by some size-``size`` placement
         (e.g. the linear placement's).  A tighter seed prunes more;
         an unachievable seed below the true minimum raises
-        :class:`~repro.errors.SearchError`.  Ignored in ``full`` mode.
+        :class:`~repro.errors.SearchError`.  When ``None`` the seed is
+        derived automatically via :func:`screen_initial_upper_bound`,
+        which batch-evaluates the structured candidate families (linear
+        cosets, 2-D diagonals) in one ``emax_many`` block — achievable
+        by construction, so the search stays exact.  Ignored in ``full``
+        mode.
     checkpoint:
         Optional path to a :class:`repro.exec.CheckpointJournal` (JSONL).
         Completed subtree roots and their partial accumulators are
@@ -593,11 +671,13 @@ def exact_global_minimum(
         )
     if resume and checkpoint is None:
         raise InvalidParameterError("resume=True requires a checkpoint path")
-    upper = (
-        float(initial_upper_bound)
-        if mode == "bound" and initial_upper_bound is not None
-        else math.inf
-    )
+    if mode == "bound" and initial_upper_bound is None:
+        screened = screen_initial_upper_bound(torus, size)
+        upper = screened[0] if screened is not None else math.inf
+    elif mode == "bound":
+        upper = float(initial_upper_bound)
+    else:
+        upper = math.inf
 
     tracer = current_tracer()
     if progress is None:

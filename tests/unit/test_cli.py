@@ -96,7 +96,7 @@ class TestCertify:
     def test_default_size_seeds_linear_incumbent(self, capsys):
         assert main(["certify", "--k", "4", "--d", "2"]) == 0
         out = capsys.readouterr().out
-        assert "incumbent seed  : linear placement E_max = 2" in out
+        assert "incumbent seed  : linear(c=0) E_max = 2" in out
         assert "global min E_max: 2" in out
         assert "optimal count   : 292" in out
         assert "0 full evaluations" in out

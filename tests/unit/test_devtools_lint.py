@@ -581,6 +581,104 @@ class TestRL010WallClockOrPrint:
         assert "RL010" not in _codes(findings)
 
 
+# ------------------------------------------------------------------ RL016
+
+
+class TestRL016PerPlacementLoopEval:
+    _LOOP_SNIPPET = (
+        "from repro.load.engine import LoadEngine\n"
+        "def sweep(engine, candidates, routing):\n"
+        "    out = []\n"
+        "    for p in candidates:\n"
+        "        out.append(engine.emax(p, routing))\n"
+        "    return out\n"
+    )
+
+    def test_flags_facade_emax_loop_in_experiments(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "repro/experiments/mod.py", self._LOOP_SNIPPET
+        )
+        assert "RL016" in _codes(findings)
+
+    def test_flags_edge_loads_loop_in_placements(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/placements/mod.py",
+            "def sweep(engine, candidates, routing):\n"
+            "    return [engine.edge_loads(p, routing) for p in candidates]\n",
+        )
+        assert "RL016" in _codes(findings)
+
+    def test_per_torus_sweep_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "from repro.placements.linear import linear_placement\n"
+            "from repro.torus.topology import Torus\n"
+            "def sweep(ks):\n"
+            "    out = []\n"
+            "    for k in ks:\n"
+            "        torus = Torus(k, 2)\n"
+            "        out.append(odr_edge_loads(linear_placement(torus)).max())\n"
+            "    return out\n",
+        )
+        assert "RL016" not in _codes(findings)
+
+    def test_inner_loop_of_per_torus_sweep_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "from repro.torus.topology import Torus\n"
+            "def sweep(ks, families):\n"
+            "    out = []\n"
+            "    for k in ks:\n"
+            "        torus = Torus(k, 2)\n"
+            "        for family in families:\n"
+            "            out.append(odr_edge_loads(family(torus)).max())\n"
+            "    return out\n",
+        )
+        assert "RL016" not in _codes(findings)
+
+    def test_once_evaluated_iterable_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "from repro.load.udr_loads import udr_edge_loads\n"
+            "def both(placement):\n"
+            "    out = {}\n"
+            "    for name, loads in (\n"
+            "        ('ODR', odr_edge_loads(placement)),\n"
+            "        ('UDR', udr_edge_loads(placement)),\n"
+            "    ):\n"
+            "        out[name] = float(loads.max())\n"
+            "    return out\n",
+        )
+        assert "RL016" not in _codes(findings)
+
+    def test_other_packages_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "repro/core/mod.py", self._LOOP_SNIPPET
+        )
+        assert "RL016" not in _codes(findings)
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/placements/mod.py",
+            "from repro.load.odr_loads import odr_edge_loads\n"
+            "def oracle(candidates):\n"
+            "    return [\n"
+            "        odr_edge_loads(p).max()  # repro: noqa(RL008,RL016)\n"
+            "        for p in candidates\n"
+            "    ]\n",
+        )
+        assert "RL016" not in _codes(findings)
+        assert "RL008" not in _codes(findings)
+
+
 # ------------------------------------------------------ framework behaviour
 
 
@@ -630,10 +728,10 @@ class TestSuppressions:
 
 
 class TestFramework:
-    def test_registry_has_the_fifteen_rules(self):
+    def test_registry_has_the_sixteen_rules(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == [f"RL00{i}" for i in range(1, 10)] + [
-            f"RL0{i}" for i in range(10, 16)
+            f"RL0{i}" for i in range(10, 17)
         ]
 
     def test_syntax_error_reported_as_rl000(self, tmp_path):
