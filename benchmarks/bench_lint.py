@@ -87,6 +87,7 @@ def _expected_per_file() -> dict[str, int]:
         "RL012": 1,  # set(os.listdir) -> journal.record
         "RL013": 1,  # unsnapped 1.0/len reaching the return
         "RL015": 1,  # span stored, never entered
+        "RL017": 1,  # f-string-derived span name "work_{index}"
     }
 
 

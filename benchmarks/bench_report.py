@@ -1,0 +1,101 @@
+"""Pin the bench observatory itself: trajectory coverage and gating.
+
+The performance-regression observatory (`repro bench report`,
+:mod:`repro.devtools.benchreport`) aggregates every committed
+``BENCH_*.json`` baseline into one schema-versioned trajectory and gates
+CI on the pinned metrics.  This suite asserts the observatory's own
+invariants against the *committed* baselines:
+
+* every committed ``BENCH_*.json`` appears as a trajectory source and
+  contributes at least one metric;
+* the freshly rebuilt trajectory passes its own ``--check`` (the repo
+  is never committed in a state where the gate would fail);
+* rebuilding on top of an existing trajectory is idempotent — unchanged
+  values append no points, so regeneration never churns the file;
+* the committed ``benchmarks/BENCH_trajectory.json`` carries the
+  current schema version and covers the same sources.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.devtools.benchreport import (
+    TRAJECTORY_SCHEMA_VERSION,
+    build_trajectory,
+    check_trajectory,
+    extract_metrics,
+)
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+COMMITTED = BENCH_DIR / "BENCH_trajectory.json"
+
+
+@pytest.fixture(scope="module")
+def baseline_files() -> list[pathlib.Path]:
+    files = sorted(
+        p
+        for p in BENCH_DIR.glob("BENCH_*.json")
+        if p.name != COMMITTED.name
+    )
+    assert files, "no committed BENCH_*.json baselines found"
+    return files
+
+
+@pytest.fixture(scope="module")
+def trajectory(baseline_files) -> dict:
+    return build_trajectory(BENCH_DIR, previous=None, now=0.0)
+
+
+def test_every_baseline_is_a_source(trajectory, baseline_files):
+    assert trajectory["sources"] == [p.name for p in baseline_files]
+
+
+def test_every_baseline_contributes_metrics(trajectory, baseline_files):
+    by_source = {m["source"] for m in trajectory["metrics"].values()}
+    for path in baseline_files:
+        assert path.name in by_source, f"{path.name} contributed no metrics"
+
+
+def test_schema_version_stamped(trajectory):
+    assert trajectory["schema_version"] == TRAJECTORY_SCHEMA_VERSION
+
+
+def test_fresh_trajectory_passes_its_own_check(trajectory):
+    violations = check_trajectory(trajectory, BENCH_DIR)
+    assert violations == []
+
+
+def test_rebuild_is_idempotent(trajectory):
+    again = build_trajectory(BENCH_DIR, previous=trajectory, now=1.0)
+    assert again == trajectory
+
+
+def test_extractors_cover_known_baselines(baseline_files):
+    # curated extractors must keep up with new baselines: every file
+    # yields metrics, and gated (thresholded or exact) metrics exist.
+    gated = 0
+    for path in baseline_files:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        metrics = extract_metrics(path.name, data)
+        assert metrics, f"extract_metrics({path.name}) returned nothing"
+        gated += sum(
+            1
+            for _name, _value, direction, threshold in metrics
+            if direction == "exact" or threshold is not None
+        )
+    assert gated > 0
+
+
+@pytest.mark.skipif(
+    not COMMITTED.exists(), reason="trajectory not yet committed"
+)
+def test_committed_trajectory_current(trajectory):
+    committed = json.loads(COMMITTED.read_text(encoding="utf-8"))
+    assert committed["schema_version"] == TRAJECTORY_SCHEMA_VERSION
+    assert committed["sources"] == trajectory["sources"]
+    assert set(committed["metrics"]) == set(trajectory["metrics"])
+    assert check_trajectory(committed, BENCH_DIR) == []

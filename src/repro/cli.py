@@ -18,6 +18,12 @@ Usage (after ``pip install -e .``)::
     python -m repro analyze   --k 8 --d 2 --jobs 4 --retries 3 --task-timeout 300
     python -m repro certify   --k 5 --d 2 --trace out.jsonl --progress
     python -m repro trace summarize out.jsonl
+    python -m repro trace critical-path out.jsonl
+    python -m repro trace waterfall out.jsonl
+    python -m repro trace diff before.jsonl after.jsonl
+    python -m repro trace export out.jsonl             # Prometheus text
+    python -m repro bench report                       # BENCH_trajectory.json
+    python -m repro certify --k 5 --d 2 --metrics-out metrics.jsonl --sample-resources
     python -m repro experiments --quick --profile pstats
     python -m repro --quiet analyze --k 8 --d 2
 
@@ -192,10 +198,77 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="render span/event/metric summary tables"
     )
     p_trace_sum.add_argument("path", help="the trace JSONL file to summarize")
+    p_trace_cp = trace_sub.add_parser(
+        "critical-path",
+        help="extract the last-finishing root-to-leaf chain (auto-stitches "
+        "worker traces)",
+    )
+    p_trace_cp.add_argument("path", help="trace file, directory, or glob")
+    p_trace_wf = trace_sub.add_parser(
+        "waterfall",
+        help="render start-offset span bars plus the busy-worker timeline",
+    )
+    p_trace_wf.add_argument("path", help="trace file, directory, or glob")
+    p_trace_wf.add_argument(
+        "--width", type=int, default=48, help="bar width in columns (default 48)"
+    )
+    p_trace_wf.add_argument(
+        "--max-spans",
+        type=int,
+        default=200,
+        help="truncate the waterfall after N spans (default 200)",
+    )
+    p_trace_diff = trace_sub.add_parser(
+        "diff", help="span-by-span-name comparison of two traces"
+    )
+    p_trace_diff.add_argument("before", help="baseline trace file")
+    p_trace_diff.add_argument("after", help="comparison trace file")
+    p_trace_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative per-name duration change to ignore (default 0.10)",
+    )
+    p_trace_export = trace_sub.add_parser(
+        "export",
+        help="render the trace's final metrics snapshot as Prometheus text",
+    )
+    p_trace_export.add_argument("path", help="trace file, directory, or glob")
+    p_trace_export.add_argument(
+        "--prefix",
+        default="repro",
+        help="metric-family namespace prefix (default repro)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark baselines and their trajectory over time"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_report = bench_sub.add_parser(
+        "report",
+        help="aggregate committed BENCH_*.json baselines into "
+        "BENCH_trajectory.json and check for regressions",
+    )
+    p_bench_report.add_argument(
+        "--benchmarks-dir",
+        default="benchmarks",
+        help="directory holding BENCH_*.json baselines (default benchmarks)",
+    )
+    p_bench_report.add_argument(
+        "--output",
+        default=None,
+        help="trajectory path (default <benchmarks-dir>/BENCH_trajectory.json)",
+    )
+    p_bench_report.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if any pinned metric regressed beyond tolerance "
+        "instead of appending a new trajectory point",
+    )
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the repo's semantic static-analysis rules (RL001-RL016)",
+        help="run the repo's semantic static-analysis rules (RL001-RL017)",
     )
     p_lint.add_argument(
         "paths",
@@ -392,32 +465,88 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="profile output path (default: <command>.prof / <command>.folded)",
     )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append periodic metrics snapshots (JSONL) to this file while "
+            "the command runs — inspectable mid-flight"
+        ),
+    )
+    group.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="minimum seconds between --metrics-out snapshots (default 10)",
+    )
+    group.add_argument(
+        "--sample-resources",
+        action="store_true",
+        help=(
+            "feed /proc-based RSS/CPU/thread gauges into the metrics "
+            "registry before each --metrics-out snapshot"
+        ),
+    )
 
 
 @contextlib.contextmanager
 def _obs_context(args: argparse.Namespace) -> Iterator[None]:
-    """Install the tracer/profiler requested by --trace/--profile flags."""
+    """Install the tracer/profiler/exporter requested by the obs flags.
+
+    ``--metrics-out`` works with or without ``--trace``: without it, an
+    enabled but sinkless tracer is installed purely so instrumented code
+    has a real metrics registry to feed the snapshot pump.
+    """
     from repro.obs import JsonlTraceSink, Tracer, console, profiling, using_tracer
 
     trace_path = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
     with profiling(
         getattr(args, "profile", None),
         out=getattr(args, "profile_out", None),
         label=str(getattr(args, "command", "repro")),
     ):
-        if trace_path is None:
+        if trace_path is None and metrics_out is None:
             yield
             return
-        tracer = Tracer(
-            sink=JsonlTraceSink(trace_path, label=str(args.command)),
-            label=str(args.command),
+        label = str(args.command)
+        sink = (
+            JsonlTraceSink(trace_path, label=label)
+            if trace_path is not None
+            else None
         )
+        tracer = Tracer(sink=sink, label=label, keep_finished=False)
+        writer = None
+        if metrics_out is not None:
+            from repro.obs import MetricsSnapshotWriter, ResourceSampler
+            from repro.obs import export as obs_export
+
+            writer = MetricsSnapshotWriter(
+                metrics_out,
+                tracer.metrics,
+                interval_seconds=getattr(args, "metrics_interval", 10.0),
+            )
+            sampler = (
+                ResourceSampler(tracer.metrics)
+                if getattr(args, "sample_resources", False)
+                else None
+            )
+            obs_export.set_pump(writer, sampler)
         try:
             with using_tracer(tracer):
                 yield
         finally:
+            if writer is not None:
+                from repro.obs import export as obs_export
+
+                obs_export.set_pump(None)
+                writer.close()
+                console.info(f"metrics snapshots written to {metrics_out}")
             tracer.finish()
-            console.info(f"trace written to {trace_path}")
+            if trace_path is not None:
+                console.info(f"trace written to {trace_path}")
 
 
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -698,7 +827,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     if args.trace_command == "summarize":
         print(summarize_path(args.path), end="")
-    return 0
+        return 0
+    if args.trace_command == "critical-path":
+        from repro.obs import critical_path, load_stitched
+        from repro.obs.analyze import render_critical_path
+
+        path = critical_path(load_stitched(args.path))
+        print("\n".join(render_critical_path(path)))
+        return 0
+    if args.trace_command == "waterfall":
+        from repro.obs import load_stitched
+        from repro.obs.analyze import render_waterfall
+
+        lines = render_waterfall(
+            load_stitched(args.path),
+            width=args.width,
+            max_spans=args.max_spans,
+        )
+        print("\n".join(lines))
+        return 0
+    if args.trace_command == "diff":
+        from repro.obs import diff_traces, load_stitched
+        from repro.obs.analyze import render_diff
+
+        rows = diff_traces(
+            load_stitched(args.before),
+            load_stitched(args.after),
+            tolerance=args.tolerance,
+        )
+        print("\n".join(render_diff(rows)))
+        return 1 if rows else 0
+    if args.trace_command == "export":
+        from repro.obs import load_stitched, prometheus_text
+
+        records = load_stitched(args.path)
+        snapshots = [r for r in records if r.get("kind") == "metrics"]
+        values = snapshots[-1]["values"] if snapshots else {}
+        print(prometheus_text(values, prefix=args.prefix), end="")
+        return 0
+    return 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.devtools.benchreport import run_report
+
+    if args.bench_command == "report":
+        return run_report(
+            benchmarks_dir=args.benchmarks_dir,
+            output=args.output,
+            check=args.check,
+        )
+    return 2
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -732,6 +911,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "certify": _cmd_certify,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
 }
 

@@ -33,7 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
         description=(
-            "repro's semantic lint: paper-invariant rules RL001-RL016 "
+            "repro's semantic lint: paper-invariant rules RL001-RL017 "
             "(whole-program resolver, CFG, and taint passes included)"
         ),
     )

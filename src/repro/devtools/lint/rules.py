@@ -1,4 +1,4 @@
-"""The built-in rule set: repo-specific invariants RL001–RL016.
+"""The built-in rule set: repo-specific invariants RL001–RL017.
 
 Each rule generalizes a bug class this repository has actually hit (see
 ``docs/STATIC_ANALYSIS.md`` for the catalogue and the PR-1 incidents the
@@ -46,6 +46,7 @@ __all__ = [
     "ExecutorWorkerPurity",
     "SpanOutsideWith",
     "PerPlacementLoopEval",
+    "DynamicTelemetryName",
 ]
 
 #: identifier fragments that mark a value as a real-valued load figure —
@@ -1381,3 +1382,79 @@ class PerPlacementLoopEval(Rule):
             if name == "Torus":
                 return True
         return False
+
+
+@register
+class DynamicTelemetryName(Rule):
+    """RL017 — dynamic span/metric name fed into the telemetry registry.
+
+    Trace tooling — ``repro trace diff``, the stitcher's canonical form,
+    the bench observatory's pinned metric names, Prometheus exposition —
+    keys everything on span and metric *names*.  A name built at runtime
+    (f-string, ``+``, ``.format``, a variable) fragments those keys into
+    unbounded families that no dashboard, diff, or grep can enumerate,
+    and silently bloats the metrics registry.  Names passed to
+    ``tracer.span`` / ``tracer.event`` / ``tracer.record_span`` and to
+    ``metrics.counter`` / ``gauge`` / ``histogram`` must therefore be
+    dotted lowercase string literals (``"engine.fft.fast_path"``).
+    Closed sets route through literal ``if``/``elif`` dispatch (see
+    ``repro.load.engine.facade._count_backend_call``); a deliberately
+    dynamic name certifies itself with ``# repro: noqa(RL017)``.  The
+    observability package itself (which implements the registry) and
+    tests are exempt.
+    """
+
+    code = "RL017"
+    summary = "dynamic span/metric name fed to tracer/Metrics"
+
+    #: tracer methods whose first argument is a span/event name.
+    _TRACER_METHODS = frozenset({"span", "event", "record_span"})
+    #: metrics-registry factories whose first argument is a metric name.
+    _METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+    #: dotted lowercase: at least two ``[a-z][a-z0-9_]*`` segments.
+    _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file or not ctx.in_package():
+            return False
+        return not ctx.in_package("obs")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.args
+            ):
+                continue
+            method = node.func.attr
+            receiver = ctx.segment(node.func.value).lower()
+            if method in self._TRACER_METHODS:
+                if "tracer" not in receiver:
+                    continue
+            elif method in self._METRIC_METHODS:
+                if "metrics" not in receiver:
+                    continue
+            else:
+                continue
+            name_arg = node.args[0]
+            if (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+                and self._NAME_RE.match(name_arg.value)
+            ):
+                continue
+            rendered = ctx.segment(name_arg)
+            if len(rendered) > 40:
+                rendered = rendered[:37] + "..."
+            yield self.finding(
+                ctx,
+                name_arg,
+                f"`{ctx.segment(node.func)}({rendered}, ...)` — span/metric "
+                "names must be dotted lowercase string literals (e.g. "
+                '`"engine.fft.fast_path"`) so trace diffs, bench pins, and '
+                "Prometheus exposition see a closed name set; dispatch "
+                "closed families through literal if/elif, or certify with "
+                "`# repro: noqa(RL017)`",
+            )

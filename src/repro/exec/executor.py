@@ -29,6 +29,7 @@ serial fallback, so a chaotic run must converge to the fault-free answer.
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
 from concurrent.futures import (
@@ -46,7 +47,13 @@ from repro.exec.chaos import ChaosPolicy, unit_hash
 from repro.exec.journal import CheckpointJournal
 from repro.exec.policy import ExecPolicy, current_exec_policy
 from repro.exec.report import ExecutionReport, record_report
-from repro.obs.tracer import NULL_TRACER, current_tracer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    WorkerTraceConfig,
+    current_tracer,
+    init_worker_tracer,
+    worker_trace_config,
+)
 
 __all__ = ["ExecTask", "ExecutionOutcome", "ResilientExecutor"]
 
@@ -87,8 +94,19 @@ class _TaskState:
 # and then calls the user's worker function.  Both the user function and
 # any initializer are installed once per worker by `_resilient_init`, so
 # per-task pickles carry only (task_id, attempt, payload).
+#
+# When the parent runs under a file-backed tracer, `_resilient_init` also
+# installs a worker-local tracer (one JSONL file per worker under the
+# parent trace's `.workers/` directory) and `_resilient_call` wraps the
+# user function in an `exec.task.body` span stamped with the dispatching
+# (exec_run, task_id, attempt) — the key `repro.obs.stitch` uses to
+# reparent worker spans under the parent's `exec.task` records.
 
 _WORKER_STATE: tuple[Callable[[Any], Any], ChaosPolicy | None] | None = None
+
+#: one id per `ResilientExecutor.run` call in this process, so worker
+#: trace files from successive executor runs never collide.
+_EXEC_RUN_COUNTER = itertools.count(1)
 
 
 def _resilient_init(
@@ -96,8 +114,11 @@ def _resilient_init(
     initializer: Callable[..., None] | None,
     initargs: tuple[Any, ...],
     chaos: ChaosPolicy | None,
+    trace_config: WorkerTraceConfig | None = None,
 ) -> None:
     global _WORKER_STATE
+    if trace_config is not None:
+        init_worker_tracer(trace_config)
     if initializer is not None:
         initializer(*initargs)
     _WORKER_STATE = (worker_fn, chaos)
@@ -107,9 +128,20 @@ def _resilient_call(packed: tuple[str, int, Any]) -> Any:
     task_id, attempt, payload = packed
     assert _WORKER_STATE is not None
     worker_fn, chaos = _WORKER_STATE
-    if chaos is not None:
-        chaos.inject(task_id, attempt)
-    return worker_fn(payload)
+    tracer = current_tracer()
+    if not tracer.enabled:
+        if chaos is not None:
+            chaos.inject(task_id, attempt)
+        return worker_fn(payload)
+    try:
+        with tracer.span("exec.task.body", task_id=task_id, attempt=attempt):
+            if chaos is not None:
+                chaos.inject(task_id, attempt)
+            return worker_fn(payload)
+    finally:
+        # flush after every task: a worker killed later still leaves its
+        # counters on disk for the stitcher to merge.
+        tracer.flush_metrics()
 
 
 class ResilientExecutor:
@@ -161,6 +193,8 @@ class ResilientExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._parent_initialized = False
         self._tracer = NULL_TRACER
+        self._exec_run = ""
+        self._trace_config: WorkerTraceConfig | None = None
 
     # ------------------------------------------------------------ schedule
 
@@ -204,6 +238,10 @@ class ResilientExecutor:
         """
         report = ExecutionReport(label=self.label, tasks=len(tasks))
         self._tracer = current_tracer()
+        self._exec_run = f"{os.getpid():08x}-x{next(_EXEC_RUN_COUNTER):04d}"
+        self._trace_config = worker_trace_config(
+            self._tracer, self._exec_run, label=self.label
+        )
         results: dict[str, Any] = {}
         seen: set[str] = set()
         for task in tasks:
@@ -237,6 +275,7 @@ class ResilientExecutor:
                 label=self.label,
                 tasks=len(tasks),
                 jobs=self.jobs,
+                exec_run=self._exec_run,
             ):
                 if todo:
                     if self.jobs <= 1:
@@ -355,6 +394,7 @@ class ResilientExecutor:
                             task_id=state.task.task_id,
                             attempt=state.attempts,
                             mode="pool",
+                            exec_run=self._exec_run,
                         )
                         self._tracer.metrics.histogram(
                             "exec.task_seconds"
@@ -441,9 +481,26 @@ class ResilientExecutor:
     ) -> None:
         """Record one incident in the report *and* the ambient trace."""
         report.add_event(kind, task_id, attempt, detail)
-        self._tracer.event(
-            f"exec.{kind}", task_id=task_id, attempt=attempt, detail=detail
-        )
+        # one literal tracer.event call per incident kind so every event
+        # name in the trace is statically greppable (RL017); the report
+        # keeps the historical hyphenated kind strings.
+        attrs = {"task_id": task_id, "attempt": attempt, "detail": detail}
+        if kind == "retry":
+            self._tracer.event("exec.retry", **attrs)
+        elif kind == "timeout":
+            self._tracer.event("exec.timeout", **attrs)
+        elif kind == "fallback":
+            self._tracer.event("exec.fallback", **attrs)
+        elif kind == "resume":
+            self._tracer.event("exec.resume", **attrs)
+        elif kind == "rebuild":
+            self._tracer.event("exec.rebuild", **attrs)
+        elif kind == "attempt-failed":
+            self._tracer.event("exec.attempt_failed", **attrs)
+        elif kind == "broken-pool":
+            self._tracer.event("exec.broken_pool", **attrs)
+        else:  # pragma: no cover - closed kind set
+            self._tracer.event("exec.incident", **attrs)
 
     def _flush_metrics(self, report: ExecutionReport) -> None:
         """Push the run's headline counters into the tracer's registry."""
@@ -491,6 +548,7 @@ class ResilientExecutor:
             task_id=state.task.task_id,
             attempt=state.attempts,
             mode="inline",
+            exec_run=self._exec_run,
         ):
             value = self.worker_fn(state.task.payload)
         self._complete(state, value, results, report)
@@ -507,6 +565,7 @@ class ResilientExecutor:
                     self.initializer,
                     self.initargs,
                     self.policy.chaos,
+                    self._trace_config,
                 ),
             )
         return self._pool

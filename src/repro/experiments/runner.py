@@ -29,6 +29,7 @@ from repro.experiments.base import (
     get_experiment,
 )
 from repro.load.engine import using_engine
+from repro.obs.export import pump
 from repro.obs.tracer import current_tracer
 from repro.util.tables import Table
 
@@ -131,6 +132,7 @@ def run_all(
                     continue
                 exp = get_experiment(exp_id)
                 started = time.perf_counter()
+                crashed = False
                 with tracer.span(
                     "experiment.run", experiment=exp_id, quick=quick
                 ) as span:
@@ -138,9 +140,16 @@ def run_all(
                         result = exp.run(quick=quick)
                     except Exception as err:
                         result = _crashed_result(exp, err)
+                        crashed = True
                         span.annotate(crashed=type(err).__name__)
                 result.elapsed_seconds = time.perf_counter() - started
                 results[exp_id] = result
+                if tracer.enabled:
+                    if crashed:
+                        tracer.metrics.counter("experiment.crashed").add(1)
+                    else:
+                        tracer.metrics.counter("experiment.completed").add(1)
+                pump()
                 if journal is not None:
                     journal.record(exp_id, result)
     finally:

@@ -71,6 +71,28 @@ def available_backends() -> tuple[str, ...]:
     return _BACKEND_NAMES + ("auto",)
 
 
+def _count_backend_call(metrics, backend_name: str) -> None:
+    """Bump the per-backend call counter with a literal metric name.
+
+    The backend set is closed (:data:`_BACKEND_NAMES`), so the exported
+    counter namespace is spelled out literally here rather than built
+    from an f-string — RL017 keeps every metric name statically
+    enumerable for the Prometheus export layer.
+    """
+    if backend_name == "reference":
+        metrics.counter("engine.calls.reference").add(1)
+    elif backend_name == "vectorized":
+        metrics.counter("engine.calls.vectorized").add(1)
+    elif backend_name == "fft":
+        metrics.counter("engine.calls.fft").add(1)
+    elif backend_name == "displacement":
+        metrics.counter("engine.calls.displacement").add(1)
+    elif backend_name == "parallel":
+        metrics.counter("engine.calls.parallel").add(1)
+    else:  # pragma: no cover - the registry rejects unknown names
+        metrics.counter("engine.calls.other").add(1)
+
+
 class LoadEngine:
     """Facade dispatching load computations to a pluggable backend.
 
@@ -173,7 +195,7 @@ class LoadEngine:
                 placement, routing, pair_weights=pair_weights
             )
         metrics = tracer.metrics
-        metrics.counter(f"engine.calls.{backend.name}").add(1)
+        _count_backend_call(metrics, backend.name)
         if span.duration_seconds > 0:
             metrics.gauge("engine.pairs_per_sec").set(
                 pairs / span.duration_seconds
@@ -242,7 +264,7 @@ class LoadEngine:
             batch=len(placements),
         ):
             loads = run()
-        metrics.counter(f"engine.calls.{backend.name}").add(1)
+        _count_backend_call(metrics, backend.name)
         metrics.counter("engine.batched_placements").add(len(placements))
         return loads
 

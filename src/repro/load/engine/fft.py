@@ -619,9 +619,10 @@ class FFTBackend(LoadBackend):
             )
         tracer = current_tracer()
         if tracer.enabled:
-            tracer.metrics.counter(
-                "engine.fft.fast_path" if fast else "engine.fft.general_path"
-            ).add(1)
+            if fast:
+                tracer.metrics.counter("engine.fft.fast_path").add(1)
+            else:
+                tracer.metrics.counter("engine.fft.general_path").add(1)
             tracer.metrics.gauge("engine.fft.snap_drift").set(drift)
         return loads
 

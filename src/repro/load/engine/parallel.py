@@ -90,7 +90,11 @@ def _compute_shard(shard: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
     torus, coords, routing, weights, cache = _WORKER
     pi, qi = shard
     loads = np.zeros(torus.num_edges, dtype=np.float64)
-    _accumulate_shard(loads, torus, routing, coords, weights, cache, pi, qi)
+    tracer = current_tracer()
+    with tracer.span("engine.parallel.shard", pairs=int(pi.size)):
+        _accumulate_shard(loads, torus, routing, coords, weights, cache, pi, qi)
+    if tracer.enabled:
+        tracer.metrics.counter("engine.parallel.pairs").add(int(pi.size))
     return loads
 
 

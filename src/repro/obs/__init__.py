@@ -20,6 +20,15 @@ The moving parts:
   (:mod:`repro.obs.sink`);
 * :func:`summarize_trace` — the ``repro trace summarize`` renderer
   (:mod:`repro.obs.summary`);
+* :func:`stitch_traces` / :func:`load_stitched` — cross-process trace
+  stitching: worker files reparented under their dispatching
+  ``exec.task`` spans (:mod:`repro.obs.stitch`);
+* :func:`critical_path` / :func:`utilization` / :func:`diff_traces` —
+  the trace analytics behind ``repro trace critical-path | waterfall |
+  diff`` (:mod:`repro.obs.analyze`);
+* :func:`prometheus_text` / :class:`MetricsSnapshotWriter` /
+  :class:`ResourceSampler` — metrics export for mid-flight inspection
+  (:mod:`repro.obs.export`);
 * :func:`profiling` — cProfile-backed ``--profile pstats|flamegraph``
   hooks (:mod:`repro.obs.profiling`);
 * :mod:`repro.obs.console` — the single sanctioned stderr/wall-clock
@@ -29,6 +38,18 @@ The moving parts:
 from __future__ import annotations
 
 from repro.obs import console
+from repro.obs.analyze import (
+    build_forest,
+    critical_path,
+    diff_traces,
+    rollup,
+    utilization,
+)
+from repro.obs.export import (
+    MetricsSnapshotWriter,
+    ResourceSampler,
+    prometheus_text,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -37,16 +58,31 @@ from repro.obs.metrics import (
     Metrics,
 )
 from repro.obs.profiling import PROFILE_MODES, profiling, write_collapsed_stacks
-from repro.obs.sink import TRACE_VERSION, JsonlTraceSink, read_trace
+from repro.obs.sink import (
+    TRACE_VERSION,
+    JsonlTraceSink,
+    read_trace,
+    worker_trace_dir,
+)
+from repro.obs.stitch import (
+    canonical_form,
+    load_stitched,
+    split_segments,
+    stitch_path,
+    stitch_traces,
+)
 from repro.obs.summary import summarize_path, summarize_trace
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
+    WorkerTraceConfig,
     current_tracer,
+    init_worker_tracer,
     set_tracer,
     using_tracer,
+    worker_trace_config,
 )
 
 __all__ = [
@@ -63,11 +99,28 @@ __all__ = [
     "current_tracer",
     "set_tracer",
     "using_tracer",
+    "WorkerTraceConfig",
+    "worker_trace_config",
+    "init_worker_tracer",
     "TRACE_VERSION",
     "JsonlTraceSink",
     "read_trace",
+    "worker_trace_dir",
     "summarize_trace",
     "summarize_path",
+    "build_forest",
+    "critical_path",
+    "rollup",
+    "utilization",
+    "diff_traces",
+    "stitch_traces",
+    "stitch_path",
+    "split_segments",
+    "load_stitched",
+    "canonical_form",
+    "prometheus_text",
+    "MetricsSnapshotWriter",
+    "ResourceSampler",
     "PROFILE_MODES",
     "profiling",
     "write_collapsed_stacks",

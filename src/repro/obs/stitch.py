@@ -1,0 +1,335 @@
+"""Merge per-worker trace files into one logical cross-process trace.
+
+A traced ``repro certify --k 6 --d 2 --jobs 4`` run produces one parent
+trace plus one JSONL file per pool worker (written under
+``<trace>.workers/`` by :func:`repro.obs.tracer.init_worker_tracer`).
+Each file is internally consistent — pid-qualified span ids, its own
+header — but the *logical* run is one tree: every worker span belongs
+under the ``exec.task`` record of the task that dispatched it.
+
+Stitching performs that reparenting:
+
+* worker ``exec.task.body`` spans (stamped with the dispatching
+  ``(exec_run, task_id, attempt)`` by the executor's worker shim) are
+  **spliced out** — their children are reparented directly under the
+  parent trace's matching ``exec.task`` record, so a stitched pool run
+  has the same tree shape as the same workload executed inline;
+* worker spans with no dispatching task (pool-initializer work, or a
+  body whose parent record was lost to a crash) are attached under the
+  owning ``exec.run`` span and flagged ``stitch_orphan``;
+* the **last** metrics snapshot of each file merges into one final
+  registry in deterministic order (parent first, then workers in
+  sorted-name order), so stitched counters match what the same run
+  would have accumulated in a single process.
+
+Worker files whose header ``run`` id does not match the parent's are
+rejected — stitching never mixes records from different runs.
+
+:func:`canonical_form` is the comparison companion: it projects a
+(stitched or single-process) trace onto its timing-free shape — span
+names, statuses, stable attributes, and sorted child lists — which is
+what "the same run" means across worker counts.  The chaos-free
+bit-identity property in ``tests/integration/test_obs_stitch.py`` pins
+serial and ``--jobs 4`` certifications to equal canonical forms.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TraceError
+from repro.obs.metrics import Metrics
+from repro.obs.sink import read_trace, worker_trace_dir
+
+__all__ = [
+    "split_segments",
+    "stitch_traces",
+    "stitch_path",
+    "load_stitched",
+    "canonical_form",
+]
+
+#: the worker-side wrapper span spliced out during stitching.
+BODY_SPAN = "exec.task.body"
+
+#: attributes that vary across equivalent runs (pool layout, ids,
+#: human-readable timing text) and are dropped by :func:`canonical_form`.
+VOLATILE_ATTRIBUTES = frozenset(
+    {"mode", "jobs", "workers", "exec_run", "detail", "pid"}
+)
+
+
+def split_segments(records: list[dict[str, Any]]) -> list[list[dict[str, Any]]]:
+    """Regroup a concatenated multi-file record list at header records.
+
+    :func:`repro.obs.sink.read_trace` on a directory returns the files'
+    records back-to-back, each file starting with its header; this
+    splits them apart again.  Raises :class:`~repro.errors.TraceError`
+    if the list does not start with a header.
+    """
+    if records and records[0].get("kind") != "header":
+        raise TraceError("record stream does not start with a trace header")
+    segments: list[list[dict[str, Any]]] = []
+    for record in records:
+        if record.get("kind") == "header":
+            segments.append([])
+        segments[-1].append(record)
+    return segments
+
+
+def _last_metrics(records: list[dict[str, Any]]) -> dict[str, Any] | None:
+    """The final (cumulative) metrics snapshot of one trace segment."""
+    snapshot = None
+    for record in records:
+        if record.get("kind") == "metrics":
+            snapshot = record.get("values", {})
+    return snapshot
+
+
+def stitch_traces(
+    parent: list[dict[str, Any]],
+    workers: list[list[dict[str, Any]]],
+) -> list[dict[str, Any]]:
+    """Stitch worker trace segments under their dispatching parent trace.
+
+    Parameters
+    ----------
+    parent:
+        The parent process's records (header first), e.g. from
+        :func:`~repro.obs.sink.read_trace`.
+    workers:
+        One record list per worker file, each starting with a worker
+        header (``worker: true``, ``run``, ``exec_run``).  Order
+        determines the metrics merge order — pass sorted-name order for
+        determinism (:func:`stitch_path` does).
+
+    Returns
+    -------
+    list of records
+        One merged trace: a header flagged ``stitched``, the parent's
+        span/event records, every worker's records reparented, and a
+        single merged final metrics snapshot.
+    """
+    if not parent or parent[0].get("kind") != "header":
+        raise TraceError("parent trace has no header record")
+    parent_header = parent[0]
+    parent_run = parent_header.get("run", f"{int(parent_header.get('pid', 0)):08x}")
+
+    # dispatch index: (exec_run, task_id, attempt) -> parent exec.task id,
+    # plus exec_run -> exec.run span id for orphan attachment.
+    task_ids: dict[tuple[str, str, int], str] = {}
+    run_ids: dict[str, str] = {}
+    for record in parent:
+        if record.get("kind") != "span":
+            continue
+        attrs = record.get("attributes", {})
+        exec_run = attrs.get("exec_run")
+        if exec_run is None:
+            continue
+        if record.get("name") == "exec.task":
+            key = (str(exec_run), str(attrs.get("task_id")), int(attrs.get("attempt", 0)))
+            task_ids[key] = str(record.get("id"))
+        elif record.get("name") == "exec.run":
+            run_ids[str(exec_run)] = str(record.get("id"))
+
+    stitched: list[dict[str, Any]] = []
+    header = dict(parent_header)
+    header["stitched"] = True
+    header["worker_files"] = len(workers)
+    stitched.append(header)
+    stitched.extend(
+        record for record in parent[1:] if record.get("kind") != "metrics"
+    )
+
+    merged = Metrics()
+    parent_snapshot = _last_metrics(parent)
+    if parent_snapshot is not None:
+        merged.merge(parent_snapshot)
+
+    for segment in workers:
+        if not segment or segment[0].get("kind") != "header":
+            raise TraceError("worker trace segment has no header record")
+        worker_header = segment[0]
+        worker_run = worker_header.get("run")
+        if worker_run != parent_run:
+            raise TraceError(
+                f"worker trace run id {worker_run!r} does not match the "
+                f"parent trace run id {parent_run!r} — refusing to stitch "
+                "files from different runs"
+            )
+        exec_run = str(worker_header.get("exec_run", ""))
+        spans = [r for r in segment if r.get("kind") == "span"]
+        events = [r for r in segment if r.get("kind") == "event"]
+
+        # body spans are spliced out: their id maps to the dispatching
+        # exec.task record; everything else parented to them follows.
+        remap: dict[str, str] = {}
+        dropped: set[str] = set()
+        kept: list[dict[str, Any]] = []
+        for span in spans:
+            attrs = span.get("attributes", {})
+            if span.get("name") == BODY_SPAN:
+                key = (
+                    exec_run,
+                    str(attrs.get("task_id")),
+                    int(attrs.get("attempt", 0)),
+                )
+                target = task_ids.get(key)
+                if target is not None:
+                    remap[str(span.get("id"))] = target
+                    dropped.add(str(span.get("id")))
+                    continue
+                # body with no recorded dispatch (parent lost the task
+                # record, e.g. a crashed run): keep it as an orphan.
+            kept.append(span)
+
+        anchor = run_ids.get(exec_run)
+        for span in kept:
+            out = dict(span)
+            parent_id = out.get("parent")
+            if parent_id is not None and str(parent_id) in remap:
+                out["parent"] = remap[str(parent_id)]
+            elif parent_id is None:
+                out["parent"] = anchor
+                attrs = dict(out.get("attributes", {}))
+                attrs["stitch_orphan"] = anchor is None
+                out["attributes"] = attrs
+            stitched.append(out)
+        for event in events:
+            out = dict(event)
+            span_id = out.get("span")
+            if span_id is not None and str(span_id) in remap:
+                out["span"] = remap[str(span_id)]
+            stitched.append(out)
+
+        snapshot = _last_metrics(segment)
+        if snapshot is not None:
+            merged.merge(snapshot)
+
+    stitched.append({"kind": "metrics", "values": merged.snapshot()})
+    return stitched
+
+
+def stitch_path(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Read a parent trace and stitch its worker-trace directory, if any.
+
+    The worker directory follows the
+    :func:`~repro.obs.sink.worker_trace_dir` convention
+    (``<trace>.workers/``); worker files are stitched in sorted-name
+    order.  With no worker directory this is :func:`read_trace` plus a
+    no-worker stitch (the trace still gains the merged-metrics record),
+    so downstream analytics see one uniform shape.
+    """
+    parent = read_trace(path)
+    workers_dir = worker_trace_dir(path)
+    workers: list[list[dict[str, Any]]] = []
+    if workers_dir.is_dir():
+        workers = [
+            _worker_segment(file) for file in sorted(workers_dir.glob("*.jsonl"))
+        ]
+    return stitch_traces(parent, workers)
+
+
+def _worker_segment(path: Path) -> list[dict[str, Any]]:
+    records = read_trace(path)
+    if not records or not records[0].get("worker"):
+        raise TraceError(
+            f"{path} is not a worker trace (missing `worker: true` header)"
+        )
+    return records
+
+
+def load_stitched(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Load a trace for analysis, stitching workers when present.
+
+    The convenience entry the ``repro trace`` analytics subcommands use:
+    a directory or glob reads as segments and stitches the first
+    non-worker segment with the worker segments; a single file stitches
+    its ``<trace>.workers/`` directory when one exists, and otherwise
+    loads the file as-is (no synthetic metrics record is appended).
+    """
+    trace_path = Path(path)
+    if not trace_path.is_dir() and trace_path.exists():
+        if worker_trace_dir(path).is_dir():
+            return stitch_path(path)
+        return read_trace(path)
+    segments = split_segments(read_trace(path))
+    parents = [s for s in segments if not s[0].get("worker")]
+    workers = [s for s in segments if s[0].get("worker")]
+    if not parents:
+        raise TraceError(
+            f"{path} holds only worker traces — stitching needs the parent "
+            "trace file too"
+        )
+    if len(parents) > 1:
+        raise TraceError(
+            f"{path} holds {len(parents)} parent traces — stitch one run "
+            "at a time"
+        )
+    if not workers:
+        return parents[0]
+    return stitch_traces(parents[0], workers)
+
+
+# ------------------------------------------------------- canonical form
+
+
+def canonical_form(
+    records: list[dict[str, Any]],
+    ignore_attributes: frozenset[str] = VOLATILE_ATTRIBUTES,
+) -> Any:
+    """The timing-free shape of a trace, for cross-run comparison.
+
+    Spans become ``["span", name, status, attributes, children]`` with
+    durations, timestamps, ids, and :data:`VOLATILE_ATTRIBUTES` dropped;
+    events attach to their span as ``["event", name, attributes]``.
+    Sibling order is sorted (pool completion order is nondeterministic),
+    so two runs of the same workload — serial, ``--jobs 4``, stitched or
+    inline — compare equal exactly when their logical trees agree.
+    Metrics records are excluded: counter determinism is a *separate*
+    contract (task-order merges), asserted directly by the tests.
+    """
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    children: dict[Any, list[dict[str, Any]]] = {}
+    known = {str(span.get("id")) for span in spans}
+    for span in spans:
+        parent = span.get("parent")
+        key = str(parent) if parent is not None and str(parent) in known else None
+        children.setdefault(key, []).append(span)
+
+    def clean(attributes: dict[str, Any]) -> list[list[Any]]:
+        return sorted(
+            [str(name), repr(value)]
+            for name, value in attributes.items()
+            if name not in ignore_attributes
+        )
+
+    incidents: dict[Any, list[list[Any]]] = {}
+    for event in events:
+        span_id = event.get("span")
+        key = str(span_id) if span_id is not None and str(span_id) in known else None
+        incidents.setdefault(key, []).append(
+            ["event", str(event.get("name")), clean(event.get("attributes", {}))]
+        )
+
+    def node(span: dict[str, Any]) -> list[Any]:
+        span_id = str(span.get("id"))
+        kids = sorted(
+            [node(child) for child in children.get(span_id, [])]
+            + incidents.get(span_id, [])
+        )
+        return [
+            "span",
+            str(span.get("name")),
+            str(span.get("status", "ok")),
+            clean(span.get("attributes", {})),
+            kids,
+        ]
+
+    return sorted(
+        [node(root) for root in children.get(None, [])]
+        + incidents.get(None, [])
+    )

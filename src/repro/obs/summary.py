@@ -118,8 +118,36 @@ def _metric_tables(values: dict[str, Any]) -> list[Table]:
     return tables
 
 
+def _open_span_ids(
+    spans: list[dict[str, Any]], events: list[dict[str, Any]]
+) -> list[str]:
+    """Span ids referenced in the trace but never closed.
+
+    Spans are journaled on *exit*, so a run that crashed (or is still in
+    flight) leaves its open spans with no ``span`` record — they are only
+    visible as the ``parent`` of a closed child or the ``span`` of an
+    event.  Those dangling ids are exactly the spans that never finished.
+    """
+    recorded = {span.get("id") for span in spans}
+    referenced: set[str] = set()
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            referenced.add(str(parent))
+    for event in events:
+        owner = event.get("span")
+        if owner is not None:
+            referenced.add(str(owner))
+    return sorted(referenced - recorded)
+
+
 def summarize_trace(records: list[dict[str, Any]]) -> str:
-    """One markdown-compatible text report for a loaded trace."""
+    """One markdown-compatible text report for a loaded trace.
+
+    Degrades gracefully on partial traces: a header-only file (a run
+    that crashed before any span closed) still renders, with a note, and
+    spans that never closed are reported instead of silently vanishing.
+    """
     header = records[0] if records and records[0].get("kind") == "header" else {}
     spans = [r for r in records if r.get("kind") == "span"]
     events = [r for r in records if r.get("kind") == "event"]
@@ -132,6 +160,21 @@ def summarize_trace(records: list[dict[str, Any]]) -> str:
         f"pid {header.get('pid', '?')}).",
         "",
     ]
+    if not spans and not events and not metrics:
+        parts.append(
+            "No spans, events, or metrics were recorded — the traced run "
+            "may have crashed (or been killed) before any span closed."
+        )
+        parts.append("")
+    open_ids = _open_span_ids(spans, events)
+    if open_ids:
+        shown = ", ".join(open_ids[:8])
+        suffix = ", ..." if len(open_ids) > 8 else ""
+        parts.append(
+            f"{len(open_ids)} span(s) opened but never closed "
+            f"(crashed or interrupted run): {shown}{suffix}"
+        )
+        parts.append("")
     if spans:
         parts.append(_span_table(spans).render())
         parts.append("")

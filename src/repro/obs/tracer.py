@@ -30,6 +30,7 @@ import contextlib
 import itertools
 import os
 import time
+from dataclasses import dataclass
 from typing import Any, Iterator, Protocol
 
 from repro.obs.console import wall_clock
@@ -43,6 +44,9 @@ __all__ = [
     "current_tracer",
     "set_tracer",
     "using_tracer",
+    "WorkerTraceConfig",
+    "worker_trace_config",
+    "init_worker_tracer",
 ]
 
 
@@ -220,7 +224,10 @@ class Tracer:
 
         The span never opens on the stack; it is attributed to the
         innermost currently-open span, which is how the executor maps
-        pool-task latencies under its ``exec.run`` span.
+        pool-task latencies under its ``exec.run`` span.  The recorded
+        ``started_unix`` is back-dated by the duration so waterfall and
+        utilization renderings place the span where it actually ran,
+        not at its completion instant.
         """
         self._emit(
             {
@@ -230,7 +237,7 @@ class Tracer:
                 "parent": self.current_span_id(),
                 "trace": self.trace_id,
                 "status": str(attributes.pop("status", "ok")),
-                "started_unix": wall_clock(),
+                "started_unix": wall_clock() - float(duration_seconds),
                 "duration_seconds": float(duration_seconds),
                 "attributes": attributes,
             }
@@ -254,12 +261,23 @@ class Tracer:
         if self.sink is not None:
             self.sink.emit(record)
 
+    def flush_metrics(self) -> None:
+        """Emit the current (cumulative) metrics snapshot to the sink.
+
+        Pool workers call this after each task so a worker killed later
+        still leaves its counters on disk; :func:`repro.obs.stitch`
+        folds the *last* snapshot of each worker file into the stitched
+        trace's final registry.
+        """
+        if not self._closed:
+            self._emit({"kind": "metrics", "values": self.metrics.snapshot()})
+
     def finish(self) -> None:
         """Flush the final metrics snapshot and close the sink (idempotent)."""
         if self._closed:
             return
-        self._closed = True
         self._emit({"kind": "metrics", "values": self.metrics.snapshot()})
+        self._closed = True
         close = getattr(self.sink, "close", None)
         if close is not None:
             close()
@@ -293,6 +311,9 @@ class NullTracer:
     def event(self, name: str, **attributes: Any) -> None:
         pass
 
+    def flush_metrics(self) -> None:
+        pass
+
     def finish(self) -> None:
         pass
 
@@ -316,6 +337,102 @@ def set_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
     global _current
     _current = tracer if tracer is not None else NULL_TRACER
     return _current
+
+
+# ------------------------------------------------------- worker plumbing
+#
+# A `ResilientExecutor` run under an enabled, file-backed tracer mirrors
+# itself into pool workers: the pool initializer installs a worker-local
+# `Tracer` writing `worker-<exec_run>-<pid>.jsonl` next to the parent's
+# trace file, and the per-task shim wraps the user's worker function in
+# an `exec.task.body` span stamped with the dispatching (exec_run,
+# task_id, attempt).  `repro.obs.stitch` later reparents those worker
+# spans under the parent's matching `exec.task` records, so a parallel
+# certify renders as one logical tree.
+
+
+@dataclass(frozen=True)
+class WorkerTraceConfig:
+    """Everything a pool initializer needs to mirror a tracer in a worker.
+
+    Attributes
+    ----------
+    directory:
+        The worker-trace directory next to the parent's trace file
+        (see :func:`repro.obs.sink.worker_trace_dir`).
+    run_id:
+        The parent tracer's :attr:`Tracer.trace_id`; stitched worker
+        files must carry it so traces from different runs never mix.
+    exec_run:
+        The dispatching executor run's unique id (one per
+        ``ResilientExecutor.run`` call in the parent process).
+    label:
+        Human-readable workload label for the worker trace headers.
+    """
+
+    directory: str
+    run_id: str
+    exec_run: str
+    label: str
+
+
+def worker_trace_config(
+    tracer: "Tracer | NullTracer", exec_run: str, label: str = "worker"
+) -> WorkerTraceConfig | None:
+    """The :class:`WorkerTraceConfig` mirroring ``tracer``, if any.
+
+    Returns ``None`` when the tracer is disabled or its sink has no
+    file path (nothing for a worker to write next to).
+    """
+    if not tracer.enabled:
+        return None
+    path = getattr(getattr(tracer, "sink", None), "path", None)
+    if path is None:
+        return None
+    from repro.obs.sink import worker_trace_dir
+
+    return WorkerTraceConfig(
+        directory=str(worker_trace_dir(path)),
+        run_id=tracer.trace_id,
+        exec_run=exec_run,
+        label=label,
+    )
+
+
+def init_worker_tracer(config: WorkerTraceConfig) -> Tracer:
+    """Install a worker-local tracer per ``config`` (pool initializer).
+
+    The worker's JSONL file lives in ``config.directory`` and its header
+    carries the parent run id plus the dispatching exec-run id, which is
+    what :func:`repro.obs.stitch.stitch_traces` keys the reparenting on.
+    Worker processes are torn down without cleanup, so the sink flushes
+    every record and :meth:`Tracer.flush_metrics` runs after each task —
+    a killed worker loses at most its in-flight span.
+    """
+    from pathlib import Path
+
+    from repro.obs.sink import JsonlTraceSink
+
+    directory = Path(config.directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"worker-{config.exec_run}-{os.getpid():08x}"
+    path = directory / f"{stem}.jsonl"
+    suffix = 1
+    while path.exists():  # pid reuse across pool rebuilds
+        suffix += 1
+        path = directory / f"{stem}-{suffix}.jsonl"
+    sink = JsonlTraceSink(
+        path,
+        label=config.label,
+        extra={
+            "worker": True,
+            "run": config.run_id,
+            "exec_run": config.exec_run,
+        },
+    )
+    tracer = Tracer(sink=sink, label=config.label)
+    set_tracer(tracer)
+    return tracer
 
 
 @contextlib.contextmanager

@@ -23,10 +23,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.tracer import current_tracer
 from repro.sim.network import SimNetwork
 from repro.sim.packet import Packet
 
 __all__ = ["CycleEngine", "SimulationResult"]
+
+#: per-cycle `sim.cycle` spans are emitted only for the first N cycles of
+#: a traced run — enough to see the warm-up/drain shape without letting a
+#: pathological million-cycle run flood the trace file.
+MAX_CYCLE_SPANS = 512
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,23 @@ class CycleEngine:
             cannot deadlock).
         """
         net = self.network
+        tracer = current_tracer()
+        with tracer.span(
+            "sim.run", engine="cycle", packets=len(packets)
+        ) as run_span:
+            result = self._run(packets, net, tracer)
+            run_span.annotate(cycles=result.cycles, delivered=result.delivered)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("sim.packets_routed").add(result.delivered)
+            metrics.counter("sim.cycles").add(result.cycles)
+        return result
+
+    def _run(
+        self, packets: list[Packet], net: SimNetwork, tracer
+    ) -> SimulationResult:
+        traced = tracer.enabled
+        contention = tracer.metrics.histogram("sim.contention")
         for p in packets:
             if not net.check_path_alive(p.edge_ids):
                 raise SimulationError(
@@ -120,19 +143,33 @@ class CycleEngine:
                     f"exceeded max_cycles={self.max_cycles} with "
                     f"{total - delivered} packets in flight"
                 )
+            # deliberate manual handle: the span is conditional (capped
+            # at MAX_CYCLE_SPANS) and closed at two exit points below.
+            cycle_span = (
+                tracer.span("sim.cycle", cycle=cycle)  # repro: noqa(RL015)
+                if traced and cycle < MAX_CYCLE_SPANS
+                else None
+            )
+            if cycle_span is not None:
+                cycle_span.__enter__()
             # arrivals scheduled for this cycle
             for p in pending.pop(cycle, ()):  # packets join queues
                 q = queues.setdefault(p.edge_ids[p.hop], deque())
                 q.append(p)
                 if len(q) > max_queue:
                     max_queue = len(q)
+                if traced:
+                    # queue depth at arrival = instantaneous contention
+                    contention.observe(len(q))
             # each live link serves one head-of-line packet
+            served = 0
             for edge_id in list(queues):
                 q = queues[edge_id]
                 p = q.popleft()
                 if not q:
                     del queues[edge_id]
                 net.record_traversal(edge_id)
+                served += 1
                 p.hop += 1
                 if p.hop == p.path_length:
                     p.delivered_cycle = cycle + 1
@@ -140,6 +177,9 @@ class CycleEngine:
                     last_delivery = cycle + 1
                 else:
                     pending.setdefault(cycle + 1, []).append(p)
+            if cycle_span is not None:
+                cycle_span.annotate(served=served)
+                cycle_span.__exit__(None, None, None)
             cycle += 1
 
         latencies = np.array(

@@ -77,6 +77,8 @@ def pair_connectivity_under_faults(
     failed_edge_ids,
 ) -> FaultToleranceStats:
     """Evaluate every ordered pair's survival under a concrete failure set."""
+    from repro.obs.tracer import current_tracer
+
     torus = placement.torus
     masked = FaultMaskedRouting(routing, failed_edge_ids)
     coords = placement.coords()
@@ -84,23 +86,32 @@ def pair_connectivity_under_faults(
     disconnected = 0
     total = 0
     frac_sum = 0.0
-    for i in range(m):
-        for j in range(m):
-            if i == j:
-                continue
-            total += 1
-            original = routing.paths(torus, coords[i], coords[j])
-            if not original:
-                raise SimulationError(
-                    f"routing {routing.name!r} returned no path for pair "
-                    f"{tuple(int(c) for c in coords[i])} -> "
-                    f"{tuple(int(c) for c in coords[j])}; cannot measure "
-                    "path survival for a disconnected baseline"
-                )
-            surviving = masked.surviving_paths(torus, coords[i], coords[j])
-            frac_sum += len(surviving) / len(original)
-            if not surviving:
-                disconnected += 1
+    tracer = current_tracer()
+    with tracer.span(
+        "sim.fault_sweep",
+        pairs=m * (m - 1),
+        failures=int(np.asarray(list(failed_edge_ids)).size),
+    ) as fault_span:
+        for i in range(m):
+            for j in range(m):
+                if i == j:
+                    continue
+                total += 1
+                original = routing.paths(torus, coords[i], coords[j])
+                if not original:
+                    raise SimulationError(
+                        f"routing {routing.name!r} returned no path for pair "
+                        f"{tuple(int(c) for c in coords[i])} -> "
+                        f"{tuple(int(c) for c in coords[j])}; cannot measure "
+                        "path survival for a disconnected baseline"
+                    )
+                surviving = masked.surviving_paths(torus, coords[i], coords[j])
+                frac_sum += len(surviving) / len(original)
+                if not surviving:
+                    disconnected += 1
+        fault_span.annotate(disconnected=disconnected)
+    if tracer.enabled:
+        tracer.metrics.counter("sim.pairs_disconnected").add(disconnected)
     return FaultToleranceStats(
         total_pairs=total,
         disconnected_pairs=disconnected,

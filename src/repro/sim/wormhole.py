@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.tracer import current_tracer
+from repro.sim.engine import MAX_CYCLE_SPANS
 from repro.sim.packet import Packet
 from repro.torus.topology import Torus
 
@@ -179,9 +181,28 @@ class WormholeEngine:
 
     def run(self, packets: list[Packet]) -> WormholeResult:
         """Simulate until every packet's tail flit is ejected."""
+        tracer = current_tracer()
+        with tracer.span(
+            "sim.run",
+            engine="wormhole",
+            packets=len(packets),
+            flits_per_packet=self.config.flits_per_packet,
+        ) as run_span:
+            result = self._run(packets, tracer)
+            run_span.annotate(cycles=result.cycles, delivered=result.delivered)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("sim.packets_routed").add(result.delivered)
+            metrics.counter("sim.cycles").add(result.cycles)
+        return result
+
+    def _run(self, packets: list[Packet], tracer) -> WormholeResult:
         cfg = self.config
         torus = self.torus
         flits = cfg.flits_per_packet
+        traced = tracer.enabled
+        contention = tracer.metrics.histogram("sim.contention")
+        blocked_counter = tracer.metrics.counter("sim.flits_blocked")
 
         states: dict[int, _PacketState] = {}
         for p in packets:
@@ -228,6 +249,16 @@ class WormholeEngine:
                     f"packets {stuck[:8]} in flight"
                 )
 
+            # deliberate manual handle: the span is conditional (capped
+            # at MAX_CYCLE_SPANS) and closed at two exit points below.
+            cycle_span = (
+                tracer.span("sim.cycle", cycle=cycle)  # repro: noqa(RL015)
+                if traced and cycle < MAX_CYCLE_SPANS
+                else None
+            )
+            if cycle_span is not None:
+                cycle_span.__enter__()
+
             # ---- phase 1: eject flits at destinations (no link bandwidth)
             for st in states.values():
                 p = st.packet
@@ -244,6 +275,8 @@ class WormholeEngine:
                         delivered += 1
                         last_delivery = cycle
             if delivered >= total:
+                if cycle_span is not None:
+                    cycle_span.__exit__(None, None, None)
                 break
 
             # ---- phase 2: one flit crossing per physical link
@@ -276,12 +309,20 @@ class WormholeEngine:
             moved_flits: set[tuple[int, int]] = set()  # one hop per flit per cycle
             for link in sorted(candidates):
                 entries = candidates[link]
+                if traced:
+                    # candidates competing for one physical link this cycle
+                    contention.observe(len(entries))
                 # rotate priority for fairness across cycles
                 order = entries[rr_offset % len(entries):] + entries[: rr_offset % len(entries)]
+                moved_here = False
                 for kind, st, arg in order:
                     if self._try_move(kind, st, arg, channel, link_counts, moved_flits):
                         moved_any = True
+                        moved_here = True
                         break
+                if traced:
+                    # every candidate beyond the winner stalled this cycle
+                    blocked_counter.add(len(entries) - (1 if moved_here else 0))
             rr_offset += 1
             if not moved_any and delivered < total:
                 # no ejection possible either (we broke out above only on
@@ -289,6 +330,8 @@ class WormholeEngine:
                 # drains the final channels, so persistent stalls only
                 # happen before release cycles
                 pass
+            if cycle_span is not None:
+                cycle_span.__exit__(None, None, None)
             cycle += 1
 
         latencies = np.array(

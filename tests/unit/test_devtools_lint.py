@@ -679,6 +679,121 @@ class TestRL016PerPlacementLoopEval:
         assert "RL008" not in _codes(findings)
 
 
+# ------------------------------------------------------------------ RL017
+
+
+class TestRL017DynamicTelemetryName:
+    def test_flags_fstring_span_name(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exec/mod.py",
+            "def f(tracer, kind):\n"
+            "    with tracer.span(f'exec.{kind}'):\n"
+            "        pass\n",
+        )
+        assert "RL017" in _codes(findings)
+
+    def test_flags_fstring_event_name(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exec/mod.py",
+            "def f(tracer, kind):\n"
+            "    tracer.event(f'exec.{kind}', attempt=1)\n",
+        )
+        assert "RL017" in _codes(findings)
+
+    def test_flags_dynamic_counter_name(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def f(metrics, backend):\n"
+            "    metrics.counter('engine.calls.' + backend).add(1)\n",
+        )
+        assert "RL017" in _codes(findings)
+
+    def test_flags_conditional_literal_name(self, tmp_path):
+        # even a closed IfExp of two literals is dynamic to a grep
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "def f(metrics, fast):\n"
+            "    metrics.counter('a.b' if fast else 'a.c').add(1)\n",
+        )
+        assert "RL017" in _codes(findings)
+
+    def test_flags_undotted_literal(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def f(tracer):\n"
+            "    with tracer.span('simulate'):\n"
+            "        pass\n",
+        )
+        assert "RL017" in _codes(findings)
+
+    def test_flags_uppercase_literal(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def f(tracer):\n"
+            "    tracer.metrics.gauge('Sim.Cycles').set(1)\n",
+        )
+        assert "RL017" in _codes(findings)
+
+    def test_dotted_lowercase_literals_pass(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def f(tracer, n):\n"
+            "    with tracer.span('sim.run', packets=n):\n"
+            "        tracer.event('sim.cycle_limit')\n"
+            "        tracer.metrics.counter('sim.packets_routed').add(n)\n"
+            "        tracer.metrics.histogram('sim.contention').observe(n)\n"
+            "    tracer.record_span('sim.replay', 0.5)\n",
+        )
+        assert "RL017" not in _codes(findings)
+
+    def test_non_telemetry_receivers_pass(self, tmp_path):
+        # .record/.get/np.histogram etc. are not the telemetry registry
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/load/mod.py",
+            "import numpy as np\n"
+            "def f(journal, task_id, loads, bins):\n"
+            "    journal.record(task_id, loads)\n"
+            "    return np.histogram(loads, bins=bins)\n",
+        )
+        assert "RL017" not in _codes(findings)
+
+    def test_obs_package_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def f(tracer, name):\n"
+            "    tracer.event(f'{name}.x')\n",
+        )
+        assert "RL017" not in _codes(findings)
+
+    def test_tests_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "tests/test_mod.py",
+            "def test_f(tracer, i):\n"
+            "    with tracer.span(f'case_{i}'):\n"
+            "        pass\n",
+        )
+        assert "RL017" not in _codes(findings)
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "repro/exec/mod.py",
+            "def f(tracer, kind):\n"
+            "    tracer.event(f'exec.{kind}')  # repro: noqa(RL017)\n",
+        )
+        assert "RL017" not in _codes(findings)
+
+
 # ------------------------------------------------------ framework behaviour
 
 
@@ -728,10 +843,10 @@ class TestSuppressions:
 
 
 class TestFramework:
-    def test_registry_has_the_sixteen_rules(self):
+    def test_registry_has_the_seventeen_rules(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == [f"RL00{i}" for i in range(1, 10)] + [
-            f"RL0{i}" for i in range(10, 17)
+            f"RL0{i}" for i in range(10, 18)
         ]
 
     def test_syntax_error_reported_as_rl000(self, tmp_path):

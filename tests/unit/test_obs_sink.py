@@ -110,3 +110,38 @@ class TestReadTrace:
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(TraceError, match="corrupt mid-file"):
             read_trace(path)
+
+
+class TestReadTraceDirectoryAndGlob:
+    def _write(self, path, label):
+        with JsonlTraceSink(path, label=label) as sink:
+            sink.emit({"kind": "event", "name": f"from-{label}"})
+        return path
+
+    def test_directory_concatenates_sorted_files(self, tmp_path):
+        # written out of name order; read back deterministically sorted
+        self._write(tmp_path / "worker-b.jsonl", "b")
+        self._write(tmp_path / "worker-a.jsonl", "a")
+        records = read_trace(tmp_path)
+        labels = [
+            r["label"] for r in records if r.get("kind") == "header"
+        ]
+        assert labels == ["a", "b"]
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(TraceError, match="no .jsonl files"):
+            read_trace(tmp_path)
+
+    def test_glob_pattern_concatenates_sorted_matches(self, tmp_path):
+        self._write(tmp_path / "t2.jsonl", "two")
+        self._write(tmp_path / "t1.jsonl", "one")
+        self._write(tmp_path / "other.log", "skip")
+        records = read_trace(tmp_path / "t*.jsonl")
+        labels = [
+            r["label"] for r in records if r.get("kind") == "header"
+        ]
+        assert labels == ["one", "two"]
+
+    def test_glob_with_no_matches_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            read_trace(tmp_path / "nothing-*.jsonl")

@@ -78,6 +78,57 @@ class TestSummarizeTrace:
         text = summarize_trace([{"kind": "header", "version": 1, "pid": 1}])
         assert "0 spans, 0 events" in text
 
+    def test_header_only_trace_notes_the_crash(self):
+        # a run killed before any span closed leaves only the header
+        text = summarize_trace([{"kind": "header", "version": 1, "pid": 1}])
+        assert "may have crashed" in text
+
+    def test_empty_record_list_renders(self):
+        text = summarize_trace([])
+        assert "0 spans, 0 events, 0 records" in text
+
+    def test_unclosed_spans_reported_not_raised(self):
+        # spans journal on exit: a crashed run's open spans only exist
+        # as dangling parent/event references — they must be surfaced
+        records = [
+            {"kind": "header", "version": 1, "label": "crashed", "pid": 3},
+            {
+                "kind": "span",
+                "name": "exec.task",
+                "id": "s2",
+                "parent": "s1",
+                "duration_seconds": 0.5,
+                "status": "ok",
+            },
+            {"kind": "event", "name": "exec.retry", "span": "s1"},
+        ]
+        text = summarize_trace(records)
+        assert "1 span(s) opened but never closed" in text
+        assert "s1" in text
+
+    def test_closed_trace_reports_no_open_spans(self):
+        records = [
+            {"kind": "header", "version": 1, "pid": 1},
+            {
+                "kind": "span",
+                "name": "root",
+                "id": "s1",
+                "parent": None,
+                "duration_seconds": 1.0,
+                "status": "ok",
+            },
+            {
+                "kind": "span",
+                "name": "child",
+                "id": "s2",
+                "parent": "s1",
+                "duration_seconds": 0.5,
+                "status": "ok",
+            },
+        ]
+        text = summarize_trace(records)
+        assert "never closed" not in text
+
     def test_last_metrics_record_wins(self):
         records = _records() + [
             {"kind": "metrics", "values": {"counters": {"final": 1.0}}}
